@@ -1,0 +1,71 @@
+// Package cmcscripts ships the standard .cmc operation library: the
+// paper's Table V mutex trio plus general PIM utilities, authored in the
+// runtime-loadable script language rather than compiled Go. The sources
+// are embedded so Load works from any working directory, and the same
+// files can be copied out and modified without recompiling anything —
+// the workflow the paper's external-implementation requirement (§IV-A)
+// is about.
+package cmcscripts
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cmc/script"
+)
+
+//go:embed *.cmc
+var files embed.FS
+
+// Names lists the shipped scripts (without the .cmc extension).
+func Names() []string {
+	entries, err := files.ReadDir(".")
+	if err != nil {
+		// The embedded FS is read at build time; failure to list it is a
+		// build defect.
+		panic(err)
+	}
+	var out []string
+	for _, e := range entries {
+		out = append(out, strings.TrimSuffix(e.Name(), ".cmc"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Source returns the raw script text.
+func Source(name string) (string, error) {
+	b, err := files.ReadFile(name + ".cmc")
+	if err != nil {
+		return "", fmt.Errorf("cmcscripts: unknown script %q", name)
+	}
+	return string(b), nil
+}
+
+// Load parses one shipped script into an executable operation.
+func Load(name string) (*script.Program, error) {
+	src, err := Source(name)
+	if err != nil {
+		return nil, err
+	}
+	p, err := script.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("cmcscripts: %s: %w", name, err)
+	}
+	return p, nil
+}
+
+// LoadAll parses every shipped script.
+func LoadAll() ([]*script.Program, error) {
+	var out []*script.Program
+	for _, name := range Names() {
+		p, err := Load(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

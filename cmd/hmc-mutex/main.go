@@ -1,0 +1,123 @@
+// Command hmc-mutex reproduces the paper's CMC mutex evaluation (§V):
+// Algorithm 1 driven from 2..100 simulated threads against the 4Link-4GB
+// and 8Link-8GB configurations, reporting the MIN/MAX/AVG cycle metrics
+// of Figures 5-7 and the sweep extrema of Table VI.
+//
+// Usage:
+//
+//	hmc-mutex                  # Table VI plus all three figure series
+//	hmc-mutex -figure 6        # one figure's series only
+//	hmc-mutex -table           # Table VI only
+//	hmc-mutex -lo 2 -hi 50     # restrict the thread sweep
+//	hmc-mutex -csv out.csv     # machine-readable sweep dump
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	hmcsim "repro"
+)
+
+func main() {
+	lo := flag.Int("lo", 2, "lowest thread count")
+	hi := flag.Int("hi", 100, "highest thread count")
+	addr := flag.Uint64("addr", 0x40, "lock block address")
+	figure := flag.Int("figure", 0, "print only one figure series (5, 6 or 7)")
+	tableOnly := flag.Bool("table", false, "print only Table VI")
+	csvPath := flag.String("csv", "", "write the full sweep to a CSV file")
+	flag.Parse()
+
+	if *lo < 2 || *hi < *lo {
+		fmt.Fprintln(os.Stderr, "hmc-mutex: need 2 <= lo <= hi")
+		os.Exit(2)
+	}
+
+	four, err := hmcsim.MutexSweep(hmcsim.FourLink4GB(), *lo, *hi, *addr)
+	if err != nil {
+		fatal(err)
+	}
+	eight, err := hmcsim.MutexSweep(hmcsim.EightLink8GB(), *lo, *hi, *addr)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *csvPath != "" {
+		if err := writeCSV(*csvPath, four, eight); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *csvPath)
+	}
+
+	if *figure == 0 || *tableOnly {
+		printTableVI(four, eight)
+	}
+	if !*tableOnly {
+		if *figure == 0 || *figure == 5 {
+			printFigure(5, "Minimum Lock Cycles", four, eight, func(r hmcsim.MutexRun) float64 { return float64(r.Min) })
+		}
+		if *figure == 0 || *figure == 6 {
+			printFigure(6, "Maximum Lock Cycles", four, eight, func(r hmcsim.MutexRun) float64 { return float64(r.Max) })
+		}
+		if *figure == 0 || *figure == 7 {
+			printFigure(7, "Average Lock Cycles", four, eight, func(r hmcsim.MutexRun) float64 { return r.Avg })
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hmc-mutex:", err)
+	os.Exit(1)
+}
+
+func printTableVI(four, eight hmcsim.MutexSweepResult) {
+	fmt.Println("Table VI: CMC Mutex Operations (sweep extrema)")
+	fmt.Printf("%-12s %-16s %-16s %-16s\n", "Device", "Min Cycle Count", "Max Cycle Count", "Avg Cycle Count")
+	for _, sweep := range []hmcsim.MutexSweepResult{four, eight} {
+		minC, maxC, maxAvg := sweep.TableVI()
+		fmt.Printf("%-12s %-16d %-16d %-16.2f\n", sweep.Config, minC, maxC, maxAvg)
+	}
+	fmt.Println()
+}
+
+func printFigure(n int, title string, four, eight hmcsim.MutexSweepResult, pick func(hmcsim.MutexRun) float64) {
+	fmt.Printf("Figure %d: %s\n", n, title)
+	fmt.Printf("%-8s %-14s %-14s\n", "Threads", four.Config.String(), eight.Config.String())
+	for i := range four.Runs {
+		fmt.Printf("%-8d %-14.2f %-14.2f\n", four.Runs[i].Threads, pick(four.Runs[i]), pick(eight.Runs[i]))
+	}
+	fmt.Println()
+}
+
+func writeCSV(path string, sweeps ...hmcsim.MutexSweepResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"config", "threads", "min_cycle", "max_cycle", "avg_cycle", "trylocks", "send_stalls"}); err != nil {
+		return err
+	}
+	for _, sweep := range sweeps {
+		for _, r := range sweep.Runs {
+			rec := []string{
+				sweep.Config.String(),
+				strconv.Itoa(r.Threads),
+				strconv.FormatUint(r.Min, 10),
+				strconv.FormatUint(r.Max, 10),
+				strconv.FormatFloat(r.Avg, 'f', 2, 64),
+				strconv.FormatUint(r.Trylocks, 10),
+				strconv.FormatUint(r.SendStalls, 10),
+			}
+			if err := w.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

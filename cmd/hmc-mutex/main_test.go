@@ -1,0 +1,40 @@
+package main
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"testing"
+
+	hmcsim "repro"
+)
+
+func TestWriteCSV(t *testing.T) {
+	sweep, err := hmcsim.MutexSweep(hmcsim.FourLink4GB(), 2, 4, 0x40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sweep.csv")
+	if err := writeCSV(path, sweep); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header plus one row per thread count (2, 3, 4).
+	if len(rows) != 4 {
+		t.Fatalf("%d csv rows", len(rows))
+	}
+	if rows[0][0] != "config" || rows[0][2] != "min_cycle" {
+		t.Errorf("header %v", rows[0])
+	}
+	if rows[1][0] != "4Link-4GB" || rows[1][1] != "2" || rows[1][2] != "6" {
+		t.Errorf("first data row %v", rows[1])
+	}
+}

@@ -1,0 +1,44 @@
+// Command hmc-trace analyzes JSONL trace files produced by the
+// simulator's tracing subsystem (hmcsim -trace <file>): record counts per
+// category, per-command breakdowns (CMC operations under their registered
+// names, as the paper's discrete-tracing requirement demands), round-trip
+// latency statistics, and the per-vault distribution of executed
+// requests.
+//
+// Usage:
+//
+//	hmc-trace trace.jsonl
+//	hmc-trace -top 5 trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	top := flag.Int("top", 10, "how many commands/vaults to list")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hmc-trace [-top N] <trace.jsonl>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	events, err := trace.ParseJSONL(f)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(trace.Analyze(events).Report(*top))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hmc-trace:", err)
+	os.Exit(1)
+}

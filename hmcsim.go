@@ -1,0 +1,234 @@
+// Package hmcsim is a simulation platform for Hybrid Memory Cube (HMC)
+// Gen2 devices with support for user-defined Custom Memory Cube (CMC)
+// operations — a Go implementation of HMC-Sim 2.0 (Leidel and Chen,
+// "HMC-Sim-2.0: A Simulation Platform for Exploring Custom Memory Cube
+// Operations", IPDPS Workshops 2016).
+//
+// The package is a facade over the internal simulator packages; it
+// re-exports everything a simulation driver needs:
+//
+//	s, err := hmcsim.New(hmcsim.FourLink4GB())
+//	_ = s.LoadCMC("hmc_lock")   // bind a CMC op to command code 125
+//	r, _ := hmcsim.BuildRead(0, 0x1000, tag, link, 64)
+//	_ = s.Send(link, r)
+//	s.Clock()
+//	rsp, ok := s.Recv(link)
+//
+// # Custom Memory Cube operations
+//
+// The Gen2 command space leaves 70 command codes unused; each is an
+// hmcsim CMC slot. Operations implement the three-entry-point contract of
+// the original simulator's dlopen interface (Register/Execute/Str; see
+// CMCOperation) and are bound at run time with Simulator.LoadCMC (by
+// registry name), Simulator.LoadCMCOp (a value), or LoadCMCScript (a .cmc
+// file parsed by the script interpreter). The cmcops package ships the
+// paper's mutex trio plus demonstration operations.
+//
+// # Evaluation harness
+//
+// RunMutex/MutexSweep reproduce the paper's Algorithm 1 evaluation
+// (Figures 5-7, Table VI); RunStream, RunGUPS and RunBFS implement the
+// supplementary kernels. The repository-level bench_test.go regenerates
+// every table and figure of the paper.
+package hmcsim
+
+import (
+	"repro/internal/cachemodel"
+	"repro/internal/cmc"
+	"repro/internal/cmc/script"
+	"repro/internal/config"
+	"repro/internal/device"
+	"repro/internal/hmccmd"
+	"repro/internal/packet"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Core simulation types.
+type (
+	// Config describes one simulated device; see FourLink4GB and
+	// EightLink8GB for the paper's evaluation presets.
+	Config = config.Config
+	// Simulator is a simulation context (the hmc_sim_t equivalent).
+	Simulator = sim.Simulator
+	// Option configures a Simulator at construction.
+	Option = sim.Option
+	// Rqst is a request packet; Rsp is a response packet.
+	Rqst = packet.Rqst
+	Rsp  = packet.Rsp
+	// RqstCmd enumerates request commands (WR64, RD256, CMC125, ...).
+	RqstCmd = hmccmd.Rqst
+	// RespCmd enumerates response commands (RD_RS, WR_RS, RSP_CMC, ...).
+	RespCmd = hmccmd.Resp
+	// Device is one simulated cube.
+	Device = device.Device
+	// DeviceStats are the per-device lifetime counters.
+	DeviceStats = device.Stats
+)
+
+// CMC extension types.
+type (
+	// CMCOperation is the user-implemented operation contract
+	// (cmc_register / cmc_execute / cmc_str).
+	CMCOperation = cmc.Operation
+	// CMCDescriptor carries the operation's static registration data
+	// (paper Table III).
+	CMCDescriptor = cmc.Descriptor
+	// CMCExecContext carries the execution-function arguments (paper
+	// Table IV).
+	CMCExecContext = cmc.ExecContext
+	// CMCScript is a runtime-parsed .cmc operation program.
+	CMCScript = script.Program
+)
+
+// Tracing types.
+type (
+	// Tracer is a trace sink; TraceEvent is one record.
+	Tracer     = trace.Tracer
+	TraceEvent = trace.Event
+	TraceLevel = trace.Level
+)
+
+// Workload / evaluation types.
+type (
+	// Agent is one simulated host thread driven by RunAgents.
+	Agent = workload.Agent
+	// MutexRun is one Figures 5-7 data point; MutexSweepResult is a full
+	// sweep.
+	MutexRun         = workload.MutexRun
+	MutexSweepResult = workload.MutexSweepResult
+	// TicketRun and RWResult summarize the expressive-lock extension
+	// workloads.
+	TicketRun = workload.TicketRun
+	RWResult  = workload.RWResult
+	// ReplayOp and ReplayResult belong to the trace-replay driver.
+	ReplayOp     = workload.ReplayOp
+	ReplayResult = workload.ReplayResult
+	// PipelinedAgent is a host thread with multiple outstanding requests.
+	PipelinedAgent = workload.PipelinedAgent
+)
+
+// Device configuration presets and constructors.
+var (
+	// FourLink4GB and EightLink8GB are the paper's §V-B evaluation
+	// configurations; TwoGBDev is a small development configuration.
+	FourLink4GB  = config.FourLink4GB
+	EightLink8GB = config.EightLink8GB
+	TwoGBDev     = config.TwoGBDev
+
+	// New builds a simulation context.
+	New = sim.New
+	// WithTracer, WithDevices and WithPower configure it.
+	WithTracer  = sim.WithTracer
+	WithDevices = sim.WithDevices
+	WithPower   = sim.WithPower
+	// WithPowerModel accumulates energy into a caller-owned model.
+	WithPowerModel = sim.WithPowerModel
+	// WithObserver hands the caller the simulator handle at construction.
+	WithObserver = sim.WithObserver
+	// WithParallelClock services vaults concurrently in the execute phase.
+	WithParallelClock = sim.WithParallelClock
+)
+
+// Topology kinds for WithDevices.
+const (
+	TopoSingle = topo.KindSingle
+	TopoChain  = topo.KindChain
+	TopoStar   = topo.KindStar
+	TopoRing   = topo.KindRing
+)
+
+// Request builders (the hmcsim_build_memrequest equivalents).
+var (
+	BuildRead   = sim.BuildRead
+	BuildWrite  = sim.BuildWrite
+	BuildAtomic = sim.BuildAtomic
+	BuildCMC    = sim.BuildCMC
+	// DecodeRqst and DecodeRsp parse wire-form packets.
+	DecodeRqst = packet.DecodeRqst
+	DecodeRsp  = packet.DecodeRsp
+)
+
+// Trace sink constructors.
+var (
+	NewTextTracer   = trace.NewText
+	NewJSONLTracer  = trace.NewJSONL
+	NewRecorder     = trace.NewRecorder
+	ParseTraceLevel = trace.ParseLevel
+)
+
+// Trace levels.
+const (
+	TraceBank    = trace.LevelBank
+	TraceQueue   = trace.LevelQueue
+	TraceLatency = trace.LevelLatency
+	TraceStall   = trace.LevelStall
+	TraceRqst    = trace.LevelRqst
+	TraceRsp     = trace.LevelRsp
+	TraceCMC     = trace.LevelCMC
+	TracePower   = trace.LevelPower
+	TraceAll     = trace.LevelAll
+)
+
+// CMC registry and script loading.
+var (
+	// RegisterCMCFactory publishes an operation constructor by name (the
+	// shared-object install analogue); CMCNames lists what is available.
+	RegisterCMCFactory = cmc.RegisterFactory
+	CMCNames           = cmc.Names
+	// ParseCMCScript and LoadCMCScriptFile bring externally authored .cmc
+	// operations into the process at run time (the dlopen analogue).
+	ParseCMCScript    = script.Parse
+	LoadCMCScriptFile = script.LoadFile
+)
+
+// Power model parameters and construction.
+var (
+	DefaultPowerParams = power.DefaultParams
+	NewPowerModel      = power.New
+)
+
+// PowerModel accumulates per-component energy.
+type PowerModel = power.Model
+
+// Evaluation harness entry points.
+var (
+	// RunAgents drives a set of host threads against a simulator.
+	RunAgents = workload.Run
+	// RunMutex and MutexSweep reproduce the paper's Algorithm 1
+	// evaluation.
+	RunMutex   = workload.RunMutex
+	MutexSweep = workload.MutexSweep
+	// RunStream, RunGUPS and RunBFS run the supplementary kernels;
+	// RunTicketMutex runs the expressive-locks extension workload.
+	RunStream      = workload.RunStream
+	RunGUPS        = workload.RunGUPS
+	RunBFS         = workload.RunBFS
+	RunTicketMutex = workload.RunTicketMutex
+	// RunRWLock drives the reader-writer lock extension workload.
+	RunRWLock = workload.RunRWLock
+	// Trace replay (the 1.0 memtrace capability): parse/generate request
+	// traces and replay them through a device.
+	RunReplay           = workload.RunReplay
+	ParseRequestTrace   = workload.ParseTrace
+	WriteRequestTrace   = workload.WriteTrace
+	GenerateStrideTrace = workload.GenerateStrideTrace
+	GenerateRandomTrace = workload.GenerateRandomTrace
+	// RunPipelined drives multi-outstanding agents; RunBandwidthProbe
+	// sweeps achieved bandwidth against pipeline depth.
+	RunPipelined      = workload.RunPipelined
+	RunBandwidthProbe = workload.RunBandwidthProbe
+	// TableII computes the paper's AMO-efficiency comparison.
+	TableII = cachemodel.TableII
+)
+
+// Workload modes.
+const (
+	GUPSBaseline = workload.GUPSBaseline
+	GUPSAtomic   = workload.GUPSAtomic
+	BFSBaseline  = workload.BFSBaseline
+	BFSCMC       = workload.BFSCMC
+)

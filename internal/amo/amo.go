@@ -1,0 +1,373 @@
+// Package amo implements the Gen2 atomic memory operations (paper §III,
+// Table I).
+//
+// Every AMO is a read-modify-write performed in-situ by the vault logic:
+// the vault reads the target operand, applies the operation with the
+// request's immediate payload, writes the result back, and (for
+// non-posted forms) returns either a write acknowledgement or the
+// original operand data.
+//
+// # Semantics conventions
+//
+// The HMC specification leaves some response details implementation
+// defined; this package documents its choices:
+//
+//   - Fetch-style atomics (boolean ops, CAS, SWAP16, BWR8R) return the
+//     ORIGINAL memory operand in the response payload.
+//   - Add-with-return atomics (2ADDS8R, ADDS16R) return the RESULTING
+//     sums, matching the "add immediate and return" wording.
+//   - EQ8/EQ16 return a one-FLIT WR_RS response; the comparison outcome is
+//     signalled through the response DINV flag (set when NOT equal).
+//
+// 8-byte operands must be 8-byte aligned and 16-byte operands 16-byte
+// aligned.
+package amo
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/hmccmd"
+	"repro/internal/mem"
+)
+
+// Errors returned by Execute.
+var (
+	// ErrNotAtomic reports a command outside the AMO classes.
+	ErrNotAtomic = errors.New("amo: command is not an atomic memory operation")
+	// ErrBadPayload reports a request payload of the wrong size.
+	ErrBadPayload = errors.New("amo: request payload has wrong size")
+	// ErrUnaligned reports a misaligned operand address.
+	ErrUnaligned = errors.New("amo: operand address misaligned")
+)
+
+// Result is the outcome of one atomic operation.
+type Result struct {
+	// Payload is the response data (two words for 16-byte returning
+	// atomics, empty for write-response atomics).
+	Payload []uint64
+	// DINV is set for EQ8/EQ16 when the comparison failed; it is carried
+	// into the response tail.
+	DINV bool
+}
+
+// Unit executes atomic operations against a backing store.
+type Unit struct {
+	store *mem.Store
+}
+
+// New returns an AMO unit over the given store.
+func New(store *mem.Store) *Unit { return &Unit{store: store} }
+
+// payloadWordsFor returns the required request payload size in words.
+func payloadWordsFor(cmd hmccmd.Rqst) int {
+	return 2 * (int(cmd.Info().RqstFlits) - 1)
+}
+
+// Execute performs the atomic operation cmd at addr with the given
+// request payload words.
+func (u *Unit) Execute(cmd hmccmd.Rqst, addr uint64, payload []uint64) (Result, error) {
+	info := cmd.Info()
+	if info.Class != hmccmd.ClassAtomic && info.Class != hmccmd.ClassPostedAtomic {
+		return Result{}, fmt.Errorf("%w: %s", ErrNotAtomic, info.Name)
+	}
+	if want := payloadWordsFor(cmd); len(payload) != want {
+		return Result{}, fmt.Errorf("%w: %s got %d words, want %d", ErrBadPayload, info.Name, len(payload), want)
+	}
+	switch cmd {
+	case hmccmd.INC8, hmccmd.PINC8:
+		return u.inc8(addr)
+	case hmccmd.TWOADD8, hmccmd.P2ADD8:
+		return u.twoAdd8(addr, payload, false)
+	case hmccmd.TWOADDS8R:
+		return u.twoAdd8(addr, payload, true)
+	case hmccmd.ADD16, hmccmd.PADD16:
+		return u.add16(addr, payload, false)
+	case hmccmd.ADDS16R:
+		return u.add16(addr, payload, true)
+	case hmccmd.XOR16, hmccmd.OR16, hmccmd.NOR16, hmccmd.AND16, hmccmd.NAND16:
+		return u.bool16(cmd, addr, payload)
+	case hmccmd.CASGT8, hmccmd.CASLT8:
+		return u.cas8Rel(cmd, addr, payload)
+	case hmccmd.CASGT16, hmccmd.CASLT16:
+		return u.cas16Rel(cmd, addr, payload)
+	case hmccmd.CASEQ8:
+		return u.casEQ8(addr, payload)
+	case hmccmd.CASZERO16:
+		return u.casZero16(addr, payload)
+	case hmccmd.EQ8:
+		return u.eq8(addr, payload)
+	case hmccmd.EQ16:
+		return u.eq16(addr, payload)
+	case hmccmd.SWAP16:
+		return u.swap16(addr, payload)
+	case hmccmd.BWR, hmccmd.PBWR:
+		return u.bitWrite(addr, payload, false)
+	case hmccmd.BWR8R:
+		return u.bitWrite(addr, payload, true)
+	default:
+		return Result{}, fmt.Errorf("%w: %s unhandled", ErrNotAtomic, info.Name)
+	}
+}
+
+func check8(addr uint64) error {
+	if addr%8 != 0 {
+		return fmt.Errorf("%w: %#x (need 8-byte alignment)", ErrUnaligned, addr)
+	}
+	return nil
+}
+
+func check16(addr uint64) error {
+	if addr%16 != 0 {
+		return fmt.Errorf("%w: %#x (need 16-byte alignment)", ErrUnaligned, addr)
+	}
+	return nil
+}
+
+func (u *Unit) inc8(addr uint64) (Result, error) {
+	if err := check8(addr); err != nil {
+		return Result{}, err
+	}
+	v, err := u.store.ReadUint64(addr)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := u.store.WriteUint64(addr, v+1); err != nil {
+		return Result{}, err
+	}
+	return Result{}, nil
+}
+
+func (u *Unit) twoAdd8(addr uint64, payload []uint64, ret bool) (Result, error) {
+	if err := check16(addr); err != nil {
+		return Result{}, err
+	}
+	blk, err := u.store.ReadBlock(addr)
+	if err != nil {
+		return Result{}, err
+	}
+	// Two independent 8-byte two's-complement adds.
+	sum := mem.Block{Lo: blk.Lo + payload[0], Hi: blk.Hi + payload[1]}
+	if err := u.store.WriteBlock(addr, sum); err != nil {
+		return Result{}, err
+	}
+	if ret {
+		return Result{Payload: []uint64{sum.Lo, sum.Hi}}, nil
+	}
+	return Result{}, nil
+}
+
+func (u *Unit) add16(addr uint64, payload []uint64, ret bool) (Result, error) {
+	if err := check16(addr); err != nil {
+		return Result{}, err
+	}
+	blk, err := u.store.ReadBlock(addr)
+	if err != nil {
+		return Result{}, err
+	}
+	// One 128-bit two's-complement add: carry propagates Lo -> Hi.
+	lo, carry := bits.Add64(blk.Lo, payload[0], 0)
+	hi, _ := bits.Add64(blk.Hi, payload[1], carry)
+	sum := mem.Block{Lo: lo, Hi: hi}
+	if err := u.store.WriteBlock(addr, sum); err != nil {
+		return Result{}, err
+	}
+	if ret {
+		return Result{Payload: []uint64{sum.Lo, sum.Hi}}, nil
+	}
+	return Result{}, nil
+}
+
+func (u *Unit) bool16(cmd hmccmd.Rqst, addr uint64, payload []uint64) (Result, error) {
+	if err := check16(addr); err != nil {
+		return Result{}, err
+	}
+	blk, err := u.store.ReadBlock(addr)
+	if err != nil {
+		return Result{}, err
+	}
+	orig := blk
+	switch cmd {
+	case hmccmd.XOR16:
+		blk.Lo ^= payload[0]
+		blk.Hi ^= payload[1]
+	case hmccmd.OR16:
+		blk.Lo |= payload[0]
+		blk.Hi |= payload[1]
+	case hmccmd.NOR16:
+		blk.Lo = ^(blk.Lo | payload[0])
+		blk.Hi = ^(blk.Hi | payload[1])
+	case hmccmd.AND16:
+		blk.Lo &= payload[0]
+		blk.Hi &= payload[1]
+	case hmccmd.NAND16:
+		blk.Lo = ^(blk.Lo & payload[0])
+		blk.Hi = ^(blk.Hi & payload[1])
+	}
+	if err := u.store.WriteBlock(addr, blk); err != nil {
+		return Result{}, err
+	}
+	return Result{Payload: []uint64{orig.Lo, orig.Hi}}, nil
+}
+
+// cmp128 compares two 128-bit two's-complement values; it returns -1, 0
+// or 1 as a <, ==, > b.
+func cmp128(aLo, aHi, bLo, bHi uint64) int {
+	ah, bh := int64(aHi), int64(bHi)
+	switch {
+	case ah < bh:
+		return -1
+	case ah > bh:
+		return 1
+	case aLo < bLo:
+		return -1
+	case aLo > bLo:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func (u *Unit) cas8Rel(cmd hmccmd.Rqst, addr uint64, payload []uint64) (Result, error) {
+	if err := check8(addr); err != nil {
+		return Result{}, err
+	}
+	orig, err := u.store.ReadUint64(addr)
+	if err != nil {
+		return Result{}, err
+	}
+	cand := payload[0]
+	swap := false
+	if cmd == hmccmd.CASGT8 {
+		swap = int64(cand) > int64(orig)
+	} else {
+		swap = int64(cand) < int64(orig)
+	}
+	if swap {
+		if err := u.store.WriteUint64(addr, cand); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{Payload: []uint64{orig, 0}}, nil
+}
+
+func (u *Unit) cas16Rel(cmd hmccmd.Rqst, addr uint64, payload []uint64) (Result, error) {
+	if err := check16(addr); err != nil {
+		return Result{}, err
+	}
+	orig, err := u.store.ReadBlock(addr)
+	if err != nil {
+		return Result{}, err
+	}
+	c := cmp128(payload[0], payload[1], orig.Lo, orig.Hi)
+	swap := false
+	if cmd == hmccmd.CASGT16 {
+		swap = c > 0
+	} else {
+		swap = c < 0
+	}
+	if swap {
+		if err := u.store.WriteBlock(addr, mem.Block{Lo: payload[0], Hi: payload[1]}); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{Payload: []uint64{orig.Lo, orig.Hi}}, nil
+}
+
+func (u *Unit) casEQ8(addr uint64, payload []uint64) (Result, error) {
+	if err := check8(addr); err != nil {
+		return Result{}, err
+	}
+	orig, err := u.store.ReadUint64(addr)
+	if err != nil {
+		return Result{}, err
+	}
+	compare, swap := payload[0], payload[1]
+	if orig == compare {
+		if err := u.store.WriteUint64(addr, swap); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{Payload: []uint64{orig, 0}}, nil
+}
+
+func (u *Unit) casZero16(addr uint64, payload []uint64) (Result, error) {
+	if err := check16(addr); err != nil {
+		return Result{}, err
+	}
+	orig, err := u.store.ReadBlock(addr)
+	if err != nil {
+		return Result{}, err
+	}
+	if orig.Lo == 0 && orig.Hi == 0 {
+		if err := u.store.WriteBlock(addr, mem.Block{Lo: payload[0], Hi: payload[1]}); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{Payload: []uint64{orig.Lo, orig.Hi}}, nil
+}
+
+func (u *Unit) eq8(addr uint64, payload []uint64) (Result, error) {
+	if err := check8(addr); err != nil {
+		return Result{}, err
+	}
+	v, err := u.store.ReadUint64(addr)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{DINV: v != payload[0]}, nil
+}
+
+func (u *Unit) eq16(addr uint64, payload []uint64) (Result, error) {
+	if err := check16(addr); err != nil {
+		return Result{}, err
+	}
+	blk, err := u.store.ReadBlock(addr)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{DINV: blk.Lo != payload[0] || blk.Hi != payload[1]}, nil
+}
+
+func (u *Unit) swap16(addr uint64, payload []uint64) (Result, error) {
+	if err := check16(addr); err != nil {
+		return Result{}, err
+	}
+	orig, err := u.store.ReadBlock(addr)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := u.store.WriteBlock(addr, mem.Block{Lo: payload[0], Hi: payload[1]}); err != nil {
+		return Result{}, err
+	}
+	return Result{Payload: []uint64{orig.Lo, orig.Hi}}, nil
+}
+
+// bitWrite implements BWR/P_BWR/BWR8R: payload word 0 carries the write
+// data and the low 8 bits of payload word 1 carry a byte-enable mask (bit
+// i enables byte i of the 8-byte operand).
+func (u *Unit) bitWrite(addr uint64, payload []uint64, ret bool) (Result, error) {
+	if err := check8(addr); err != nil {
+		return Result{}, err
+	}
+	orig, err := u.store.ReadUint64(addr)
+	if err != nil {
+		return Result{}, err
+	}
+	data, mask := payload[0], uint8(payload[1])
+	v := orig
+	for i := 0; i < 8; i++ {
+		if mask>>i&1 == 1 {
+			byteMask := uint64(0xFF) << (8 * i)
+			v = v&^byteMask | data&byteMask
+		}
+	}
+	if err := u.store.WriteUint64(addr, v); err != nil {
+		return Result{}, err
+	}
+	if ret {
+		return Result{Payload: []uint64{orig, 0}}, nil
+	}
+	return Result{}, nil
+}

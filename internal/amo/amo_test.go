@@ -1,0 +1,489 @@
+package amo
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hmccmd"
+	"repro/internal/mem"
+)
+
+func newUnit(t *testing.T) (*Unit, *mem.Store) {
+	t.Helper()
+	s := mem.New(1 << 20)
+	return New(s), s
+}
+
+func TestINC8(t *testing.T) {
+	u, s := newUnit(t)
+	if err := s.WriteUint64(64, 41); err != nil {
+		t.Fatal(err)
+	}
+	res, err := u.Execute(hmccmd.INC8, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Payload) != 0 {
+		t.Errorf("INC8 returned payload %v", res.Payload)
+	}
+	v, _ := s.ReadUint64(64)
+	if v != 42 {
+		t.Errorf("memory = %d, want 42", v)
+	}
+	// Posted form has identical memory semantics.
+	if _, err := u.Execute(hmccmd.PINC8, 64, nil); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = s.ReadUint64(64)
+	if v != 43 {
+		t.Errorf("after P_INC8: %d, want 43", v)
+	}
+}
+
+func TestINC8Wraps(t *testing.T) {
+	u, s := newUnit(t)
+	_ = s.WriteUint64(0, ^uint64(0))
+	if _, err := u.Execute(hmccmd.INC8, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := s.ReadUint64(0)
+	if v != 0 {
+		t.Errorf("wrap: %d", v)
+	}
+}
+
+func TestTWOADD8IsTwoIndependentAdds(t *testing.T) {
+	u, s := newUnit(t)
+	// Lo is at max: a 128-bit add would carry into Hi; dual 8-byte adds
+	// must not.
+	_ = s.WriteBlock(16, mem.Block{Lo: ^uint64(0), Hi: 10})
+	if _, err := u.Execute(hmccmd.TWOADD8, 16, []uint64{1, 5}); err != nil {
+		t.Fatal(err)
+	}
+	blk, _ := s.ReadBlock(16)
+	if blk.Lo != 0 || blk.Hi != 15 {
+		t.Errorf("got %+v, want Lo=0 Hi=15 (no cross-word carry)", blk)
+	}
+}
+
+func TestADD16CarryPropagates(t *testing.T) {
+	u, s := newUnit(t)
+	_ = s.WriteBlock(16, mem.Block{Lo: ^uint64(0), Hi: 10})
+	if _, err := u.Execute(hmccmd.ADD16, 16, []uint64{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	blk, _ := s.ReadBlock(16)
+	if blk.Lo != 0 || blk.Hi != 11 {
+		t.Errorf("got %+v, want Lo=0 Hi=11 (128-bit carry)", blk)
+	}
+}
+
+func TestAddWithReturnReturnsSums(t *testing.T) {
+	u, s := newUnit(t)
+	_ = s.WriteBlock(32, mem.Block{Lo: 100, Hi: 200})
+	res, err := u.Execute(hmccmd.TWOADDS8R, 32, []uint64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Payload[0] != 101 || res.Payload[1] != 202 {
+		t.Errorf("2ADDS8R returned %v, want sums [101 202]", res.Payload)
+	}
+	res, err = u.Execute(hmccmd.ADDS16R, 32, []uint64{10, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Payload[0] != 111 || res.Payload[1] != 202 {
+		t.Errorf("ADDS16R returned %v", res.Payload)
+	}
+}
+
+func TestBooleanAtomicsReturnOriginal(t *testing.T) {
+	cases := []struct {
+		cmd    hmccmd.Rqst
+		lo, hi uint64
+		wantLo uint64
+		wantHi uint64
+	}{
+		{hmccmd.XOR16, 0b1100, 1, 0b0110, 1 ^ 3},
+		{hmccmd.OR16, 0b1100, 1, 0b1110, 1 | 3},
+		{hmccmd.AND16, 0b1100, 1, 0b1000, 1 & 3},
+		{hmccmd.NOR16, 0b1100, 1, ^uint64(0b1110), ^uint64(1 | 3)},
+		{hmccmd.NAND16, 0b1100, 1, ^uint64(0b1000), ^uint64(1 & 3)},
+	}
+	for _, tc := range cases {
+		u, s := newUnit(t)
+		_ = s.WriteBlock(0, mem.Block{Lo: tc.lo, Hi: tc.hi})
+		res, err := u.Execute(tc.cmd, 0, []uint64{0b1010, 3})
+		if err != nil {
+			t.Fatalf("%v: %v", tc.cmd, err)
+		}
+		if res.Payload[0] != tc.lo || res.Payload[1] != tc.hi {
+			t.Errorf("%v: returned %v, want original [%d %d]", tc.cmd, res.Payload, tc.lo, tc.hi)
+		}
+		blk, _ := s.ReadBlock(0)
+		if blk.Lo != tc.wantLo || blk.Hi != tc.wantHi {
+			t.Errorf("%v: memory %+v, want Lo=%#x Hi=%#x", tc.cmd, blk, tc.wantLo, tc.wantHi)
+		}
+	}
+}
+
+func TestCASGT8(t *testing.T) {
+	u, s := newUnit(t)
+	_ = s.WriteUint64(8, 100)
+	// Candidate 50 is not greater: no swap.
+	res, err := u.Execute(hmccmd.CASGT8, 8, []uint64{50, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Payload[0] != 100 {
+		t.Errorf("returned %d, want original 100", res.Payload[0])
+	}
+	if v, _ := s.ReadUint64(8); v != 100 {
+		t.Errorf("memory %d changed without condition", v)
+	}
+	// Candidate 200 is greater: swap.
+	if _, err := u.Execute(hmccmd.CASGT8, 8, []uint64{200, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.ReadUint64(8); v != 200 {
+		t.Errorf("memory %d, want 200", v)
+	}
+	// Signed comparison: -1 is NOT greater than 200.
+	if _, err := u.Execute(hmccmd.CASGT8, 8, []uint64{^uint64(0), 0}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.ReadUint64(8); v != 200 {
+		t.Errorf("signed compare failed: memory %d", v)
+	}
+}
+
+func TestCASLT16Signed(t *testing.T) {
+	u, s := newUnit(t)
+	_ = s.WriteBlock(0, mem.Block{Lo: 5, Hi: 0})
+	// Candidate -1 (all ones) is less than 5 in 128-bit two's complement.
+	res, err := u.Execute(hmccmd.CASLT16, 0, []uint64{^uint64(0), ^uint64(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Payload[0] != 5 || res.Payload[1] != 0 {
+		t.Errorf("returned %v, want original [5 0]", res.Payload)
+	}
+	blk, _ := s.ReadBlock(0)
+	if blk.Lo != ^uint64(0) || blk.Hi != ^uint64(0) {
+		t.Errorf("swap did not occur: %+v", blk)
+	}
+}
+
+func TestCASEQ8(t *testing.T) {
+	u, s := newUnit(t)
+	_ = s.WriteUint64(16, 7)
+	// Mismatch: no swap.
+	res, err := u.Execute(hmccmd.CASEQ8, 16, []uint64{8, 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Payload[0] != 7 {
+		t.Errorf("returned %d", res.Payload[0])
+	}
+	if v, _ := s.ReadUint64(16); v != 7 {
+		t.Errorf("swapped on mismatch: %d", v)
+	}
+	// Match: swap in 99.
+	if _, err := u.Execute(hmccmd.CASEQ8, 16, []uint64{7, 99}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.ReadUint64(16); v != 99 {
+		t.Errorf("no swap on match: %d", v)
+	}
+}
+
+func TestCASZERO16(t *testing.T) {
+	u, s := newUnit(t)
+	res, err := u.Execute(hmccmd.CASZERO16, 0, []uint64{0xAB, 0xCD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Payload[0] != 0 || res.Payload[1] != 0 {
+		t.Errorf("returned %v, want original zeros", res.Payload)
+	}
+	blk, _ := s.ReadBlock(0)
+	if blk.Lo != 0xAB || blk.Hi != 0xCD {
+		t.Errorf("swap on zero failed: %+v", blk)
+	}
+	// Second attempt: memory non-zero, no swap.
+	if _, err := u.Execute(hmccmd.CASZERO16, 0, []uint64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	blk, _ = s.ReadBlock(0)
+	if blk.Lo != 0xAB || blk.Hi != 0xCD {
+		t.Errorf("swapped when non-zero: %+v", blk)
+	}
+}
+
+func TestEQ(t *testing.T) {
+	u, s := newUnit(t)
+	_ = s.WriteBlock(0, mem.Block{Lo: 1, Hi: 2})
+	res, err := u.Execute(hmccmd.EQ8, 0, []uint64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DINV {
+		t.Error("EQ8 equal case set DINV")
+	}
+	res, err = u.Execute(hmccmd.EQ8, 0, []uint64{9, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DINV {
+		t.Error("EQ8 unequal case did not set DINV")
+	}
+	res, err = u.Execute(hmccmd.EQ16, 0, []uint64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DINV {
+		t.Error("EQ16 equal case set DINV")
+	}
+	res, err = u.Execute(hmccmd.EQ16, 0, []uint64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DINV {
+		t.Error("EQ16 unequal case did not set DINV")
+	}
+}
+
+func TestSWAP16(t *testing.T) {
+	u, s := newUnit(t)
+	_ = s.WriteBlock(48, mem.Block{Lo: 1, Hi: 2})
+	res, err := u.Execute(hmccmd.SWAP16, 48, []uint64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Payload[0] != 1 || res.Payload[1] != 2 {
+		t.Errorf("returned %v, want original [1 2]", res.Payload)
+	}
+	blk, _ := s.ReadBlock(48)
+	if blk.Lo != 3 || blk.Hi != 4 {
+		t.Errorf("memory %+v", blk)
+	}
+}
+
+func TestBitWrite(t *testing.T) {
+	u, s := newUnit(t)
+	_ = s.WriteUint64(8, 0x1111111111111111)
+	// Enable bytes 0 and 7 only.
+	res, err := u.Execute(hmccmd.BWR, 8, []uint64{0xAABBCCDDEEFF0099, 1<<0 | 1<<7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Payload) != 0 {
+		t.Errorf("BWR returned payload %v", res.Payload)
+	}
+	v, _ := s.ReadUint64(8)
+	if v != 0xAA11111111111199 {
+		t.Errorf("memory %#x, want 0xaa11111111111199", v)
+	}
+	// BWR8R returns the original word.
+	res, err = u.Execute(hmccmd.BWR8R, 8, []uint64{0, 0xFF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Payload[0] != 0xAA11111111111199 {
+		t.Errorf("BWR8R returned %#x", res.Payload[0])
+	}
+	if v, _ := s.ReadUint64(8); v != 0 {
+		t.Errorf("full-mask write left %#x", v)
+	}
+}
+
+func TestAlignmentErrors(t *testing.T) {
+	u, _ := newUnit(t)
+	if _, err := u.Execute(hmccmd.INC8, 3, nil); !errors.Is(err, ErrUnaligned) {
+		t.Errorf("INC8 at 3: %v", err)
+	}
+	if _, err := u.Execute(hmccmd.SWAP16, 8, []uint64{0, 0}); !errors.Is(err, ErrUnaligned) {
+		t.Errorf("SWAP16 at 8: %v", err)
+	}
+}
+
+func TestPayloadSizeErrors(t *testing.T) {
+	u, _ := newUnit(t)
+	if _, err := u.Execute(hmccmd.ADD16, 0, []uint64{1}); !errors.Is(err, ErrBadPayload) {
+		t.Errorf("short payload: %v", err)
+	}
+	if _, err := u.Execute(hmccmd.INC8, 0, []uint64{1, 2}); !errors.Is(err, ErrBadPayload) {
+		t.Errorf("unexpected payload: %v", err)
+	}
+}
+
+func TestNonAtomicRejected(t *testing.T) {
+	u, _ := newUnit(t)
+	if _, err := u.Execute(hmccmd.WR64, 0, make([]uint64, 8)); !errors.Is(err, ErrNotAtomic) {
+		t.Errorf("WR64: %v", err)
+	}
+	if _, err := u.Execute(hmccmd.CMC125, 0, nil); !errors.Is(err, ErrNotAtomic) {
+		t.Errorf("CMC125: %v", err)
+	}
+}
+
+func TestOutOfBoundsPropagates(t *testing.T) {
+	u, _ := newUnit(t)
+	if _, err := u.Execute(hmccmd.INC8, 1<<20, nil); !errors.Is(err, mem.ErrOutOfBounds) {
+		t.Errorf("OOB: %v", err)
+	}
+}
+
+// TestCASEQ8SemanticsQuick checks the CAS fundamental law: the returned
+// value always equals the pre-state, and the post-state is swap iff
+// pre == compare.
+func TestCASEQ8SemanticsQuick(t *testing.T) {
+	u, s := newUnit(t)
+	f := func(pre, compare, swap uint64) bool {
+		if err := s.WriteUint64(0, pre); err != nil {
+			return false
+		}
+		res, err := u.Execute(hmccmd.CASEQ8, 0, []uint64{compare, swap})
+		if err != nil {
+			return false
+		}
+		post, _ := s.ReadUint64(0)
+		if res.Payload[0] != pre {
+			return false
+		}
+		if pre == compare {
+			return post == swap
+		}
+		return post == pre
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBool16InvolutionQuick: XOR applied twice restores the original.
+func TestBool16InvolutionQuick(t *testing.T) {
+	u, s := newUnit(t)
+	f := func(lo, hi, mLo, mHi uint64) bool {
+		if err := s.WriteBlock(0, mem.Block{Lo: lo, Hi: hi}); err != nil {
+			return false
+		}
+		if _, err := u.Execute(hmccmd.XOR16, 0, []uint64{mLo, mHi}); err != nil {
+			return false
+		}
+		if _, err := u.Execute(hmccmd.XOR16, 0, []uint64{mLo, mHi}); err != nil {
+			return false
+		}
+		blk, _ := s.ReadBlock(0)
+		return blk.Lo == lo && blk.Hi == hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkINC8(b *testing.B) {
+	s := mem.New(1 << 20)
+	u := New(s)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := u.Execute(hmccmd.INC8, 0, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCASEQ8(b *testing.B) {
+	s := mem.New(1 << 20)
+	u := New(s)
+	payload := []uint64{0, 0}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := u.Execute(hmccmd.CASEQ8, 0, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestCAS16AllComparisonBranches(t *testing.T) {
+	u, s := newUnit(t)
+	// cmp128 branches: hi differs (both signs), hi equal lo differs, all equal.
+	cases := []struct {
+		memLo, memHi   uint64
+		candLo, candHi uint64
+		gtSwaps        bool
+		ltSwaps        bool
+	}{
+		// Candidate hi > mem hi (positive).
+		{0, 1, 0, 2, true, false},
+		// Candidate hi < mem hi.
+		{0, 2, 0, 1, false, true},
+		// Negative candidate hi vs positive mem hi.
+		{0, 1, 0, ^uint64(0), false, true},
+		// Equal hi, candidate lo greater.
+		{5, 3, 9, 3, true, false},
+		// Equal hi, candidate lo smaller.
+		{9, 3, 5, 3, false, true},
+		// Fully equal: neither strict comparison swaps.
+		{7, 7, 7, 7, false, false},
+	}
+	for i, tc := range cases {
+		for _, cmd := range []hmccmd.Rqst{hmccmd.CASGT16, hmccmd.CASLT16} {
+			if err := s.WriteBlock(0, mem.Block{Lo: tc.memLo, Hi: tc.memHi}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := u.Execute(cmd, 0, []uint64{tc.candLo, tc.candHi}); err != nil {
+				t.Fatal(err)
+			}
+			blk, _ := s.ReadBlock(0)
+			swapped := blk.Lo == tc.candLo && blk.Hi == tc.candHi &&
+				(blk.Lo != tc.memLo || blk.Hi != tc.memHi)
+			want := tc.gtSwaps
+			if cmd == hmccmd.CASLT16 {
+				want = tc.ltSwaps
+			}
+			if swapped != want {
+				t.Errorf("case %d %v: swapped=%v want %v (mem %+v)", i, cmd, swapped, want, blk)
+			}
+		}
+	}
+}
+
+func TestAMOOutOfBoundsAllPaths(t *testing.T) {
+	u, _ := newUnit(t) // 1 MiB store
+	oob := uint64(1 << 20)
+	cases := []struct {
+		cmd     hmccmd.Rqst
+		payload []uint64
+	}{
+		{hmccmd.TWOADD8, []uint64{1, 1}},
+		{hmccmd.ADD16, []uint64{1, 0}},
+		{hmccmd.XOR16, []uint64{1, 0}},
+		{hmccmd.CASGT8, []uint64{1, 0}},
+		{hmccmd.CASGT16, []uint64{1, 0}},
+		{hmccmd.CASEQ8, []uint64{1, 0}},
+		{hmccmd.CASZERO16, []uint64{1, 0}},
+		{hmccmd.EQ8, []uint64{1, 0}},
+		{hmccmd.EQ16, []uint64{1, 0}},
+		{hmccmd.SWAP16, []uint64{1, 0}},
+		{hmccmd.BWR, []uint64{1, 0xFF}},
+	}
+	for _, tc := range cases {
+		if _, err := u.Execute(tc.cmd, oob, tc.payload); !errors.Is(err, mem.ErrOutOfBounds) {
+			t.Errorf("%v at OOB: %v", tc.cmd, err)
+		}
+	}
+}
+
+func TestCASZeroSkipsWhenHiNonZero(t *testing.T) {
+	u, s := newUnit(t)
+	_ = s.WriteBlock(0, mem.Block{Lo: 0, Hi: 1}) // lo zero, hi nonzero
+	if _, err := u.Execute(hmccmd.CASZERO16, 0, []uint64{9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	blk, _ := s.ReadBlock(0)
+	if blk.Lo != 0 || blk.Hi != 1 {
+		t.Errorf("CASZERO16 swapped on non-zero block: %+v", blk)
+	}
+}

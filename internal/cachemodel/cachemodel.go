@@ -1,0 +1,108 @@
+// Package cachemodel implements the cache-based atomic-operation traffic
+// baseline of paper Table II.
+//
+// A conventional CPU performs an atomic increment by fetching the cache
+// line, modifying it, and writing it back: a full read-modify-write cycle
+// on the line. Its link traffic is a read request + read response plus a
+// write request + write response. The HMC-based alternative dispatches a
+// single atomic command. The model counts FLIT traffic for both so
+// benchmarks can reproduce the table's 12-FLIT vs 2-FLIT (6x) result.
+//
+// Note on units: the paper's Table II states byte totals using a 128-BYTE
+// FLIT (1536 and 256 bytes), while its §IV-C1 defines a FLIT as 128 BITS
+// (16 bytes). The FLIT counts — and therefore the 6x ratio — are
+// consistent either way; Bytes takes the FLIT size as a parameter so the
+// harness can print the table in the paper's own convention.
+package cachemodel
+
+import (
+	"fmt"
+
+	"repro/internal/hmccmd"
+)
+
+// PaperFlitBytes is the 128-byte FLIT convention Table II's byte totals
+// use.
+const PaperFlitBytes = 128
+
+// Traffic is the link traffic of one operation in FLITs.
+type Traffic struct {
+	// RqstFlits and RspFlits are the total request- and
+	// response-direction FLITs.
+	RqstFlits, RspFlits int
+}
+
+// Flits returns the total FLITs in both directions.
+func (t Traffic) Flits() int { return t.RqstFlits + t.RspFlits }
+
+// Bytes returns the total traffic in bytes for a given FLIT size.
+func (t Traffic) Bytes(flitBytes int) int { return t.Flits() * flitBytes }
+
+// String renders the traffic.
+func (t Traffic) String() string {
+	return fmt.Sprintf("%d rqst + %d rsp FLITs", t.RqstFlits, t.RspFlits)
+}
+
+// CacheRMW returns the traffic of a cache-based atomic on a line of
+// lineBytes: a read (1 request FLIT, 1+line/16 response FLITs) plus a
+// write-back (1+line/16 request FLITs, 1 response FLIT). lineBytes must
+// be a positive multiple of 16.
+func CacheRMW(lineBytes int) (Traffic, error) {
+	if lineBytes <= 0 || lineBytes%16 != 0 {
+		return Traffic{}, fmt.Errorf("cachemodel: line size %d not a positive multiple of 16", lineBytes)
+	}
+	dataFlits := lineBytes / 16
+	return Traffic{
+		RqstFlits: 1 + (1 + dataFlits),
+		RspFlits:  (1 + dataFlits) + 1,
+	}, nil
+}
+
+// HMCAtomic returns the traffic of performing the operation as a single
+// HMC atomic or CMC command, from the command's architected lengths.
+func HMCAtomic(cmd hmccmd.Rqst) (Traffic, error) {
+	info := cmd.Info()
+	switch info.Class {
+	case hmccmd.ClassAtomic, hmccmd.ClassPostedAtomic, hmccmd.ClassCMC:
+		return Traffic{RqstFlits: int(info.RqstFlits), RspFlits: int(info.RspFlits)}, nil
+	default:
+		return Traffic{}, fmt.Errorf("cachemodel: %s is not an atomic or CMC command", info.Name)
+	}
+}
+
+// TableIIRow is one row of the paper's Table II.
+type TableIIRow struct {
+	AMOType    string
+	Structure  string
+	FlitsLabel string
+	TotalBytes int
+}
+
+// TableII reproduces the paper's table for an atomic 8-byte increment
+// with the given cache-line size, using the paper's 128-byte FLIT
+// convention for the byte totals.
+func TableII(lineBytes int) ([2]TableIIRow, error) {
+	cache, err := CacheRMW(lineBytes)
+	if err != nil {
+		return [2]TableIIRow{}, err
+	}
+	hmc, err := HMCAtomic(hmccmd.INC8)
+	if err != nil {
+		return [2]TableIIRow{}, err
+	}
+	readRsp := 1 + lineBytes/16
+	return [2]TableIIRow{
+		{
+			AMOType:    "Cache-Based",
+			Structure:  fmt.Sprintf("Read %d Bytes + Write %d Bytes", lineBytes, lineBytes),
+			FlitsLabel: fmt.Sprintf("(1FLIT + %dFLITS) + (%dFLITS + 1FLIT)", readRsp, readRsp),
+			TotalBytes: cache.Bytes(PaperFlitBytes),
+		},
+		{
+			AMOType:    "HMC-Based",
+			Structure:  "INC8 Command",
+			FlitsLabel: "1FLIT + 1FLIT",
+			TotalBytes: hmc.Bytes(PaperFlitBytes),
+		},
+	}, nil
+}

@@ -1,0 +1,91 @@
+package cachemodel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hmccmd"
+)
+
+// TestTableIIExactFigures pins the model to the paper's Table II numbers:
+// cache-based RMW on a 64-byte line = 12 FLITs = 1536 bytes (in the
+// paper's 128-byte-FLIT convention); HMC INC8 = 2 FLITs = 256 bytes.
+func TestTableIIExactFigures(t *testing.T) {
+	cache, err := CacheRMW(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Flits() != 12 {
+		t.Errorf("cache RMW = %d FLITs, want 12", cache.Flits())
+	}
+	if got := cache.Bytes(PaperFlitBytes); got != 1536 {
+		t.Errorf("cache RMW = %d bytes, want 1536", got)
+	}
+	hmc, err := HMCAtomic(hmccmd.INC8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hmc.Flits() != 2 {
+		t.Errorf("INC8 = %d FLITs, want 2", hmc.Flits())
+	}
+	if got := hmc.Bytes(PaperFlitBytes); got != 256 {
+		t.Errorf("INC8 = %d bytes, want 256", got)
+	}
+	// The headline ratio.
+	if cache.Flits()/hmc.Flits() != 6 {
+		t.Errorf("traffic ratio %d, want 6", cache.Flits()/hmc.Flits())
+	}
+}
+
+func TestTableIIRows(t *testing.T) {
+	rows, err := TableII(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].TotalBytes != 1536 || rows[1].TotalBytes != 256 {
+		t.Errorf("rows = %+v", rows)
+	}
+	if !strings.Contains(rows[0].FlitsLabel, "1FLIT + 5FLITS") {
+		t.Errorf("flits label = %q", rows[0].FlitsLabel)
+	}
+	if rows[1].Structure != "INC8 Command" {
+		t.Errorf("structure = %q", rows[1].Structure)
+	}
+}
+
+func TestCacheRMWScalesWithLine(t *testing.T) {
+	l32, _ := CacheRMW(32)
+	l128, _ := CacheRMW(128)
+	if l32.Flits() != 8 { // (1+3)+(3+1)
+		t.Errorf("32B line = %d FLITs", l32.Flits())
+	}
+	if l128.Flits() != 20 { // (1+9)+(9+1)
+		t.Errorf("128B line = %d FLITs", l128.Flits())
+	}
+}
+
+func TestCacheRMWValidation(t *testing.T) {
+	for _, bad := range []int{0, -16, 20} {
+		if _, err := CacheRMW(bad); err == nil {
+			t.Errorf("CacheRMW(%d) succeeded", bad)
+		}
+	}
+}
+
+func TestHMCAtomicCommands(t *testing.T) {
+	// A CMC mutex op (2-FLIT request, 2-FLIT response by default slot
+	// metadata) also counts.
+	tr, err := HMCAtomic(hmccmd.CASEQ8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Flits() != 4 {
+		t.Errorf("CASEQ8 = %d FLITs", tr.Flits())
+	}
+	if _, err := HMCAtomic(hmccmd.RD64); err == nil {
+		t.Error("HMCAtomic accepted a plain read")
+	}
+	if !strings.Contains(tr.String(), "rqst") {
+		t.Errorf("String() = %q", tr.String())
+	}
+}

@@ -1,0 +1,38 @@
+package script
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cmc"
+	"repro/internal/mem"
+)
+
+// FuzzParse throws arbitrary text at the script parser: it must never
+// panic, and anything it accepts must execute without panicking under
+// the interpreter's resource limits.
+func FuzzParse(f *testing.F) {
+	f.Add(lockSrc)
+	f.Add(trylockSrc)
+	f.Add(unlockSrc)
+	f.Add("op x\nrqst CMC85\nrqst_len 1\nrsp_len 1\nrsp_cmd WR_RS\nexec:\n halt\n")
+	f.Add("exec:\n push 1\n")
+	f.Add("op \x00\nrqst CMC999\nexec:")
+	f.Add(strings.Repeat("a:\n", 100))
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Accepted programs must run safely.
+		store := mem.New(1 << 12)
+		d := p.Register()
+		ctx := &cmc.ExecContext{
+			Addr:        0x40,
+			RqstPayload: make([]uint64, 2*(int(d.RqstLen)-1)+2),
+			RspPayload:  make([]uint64, 2*(int(d.RspLen))+2),
+			Mem:         store,
+		}
+		_ = p.Execute(ctx) // errors are fine; panics are not
+	})
+}

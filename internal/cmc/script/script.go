@@ -1,0 +1,438 @@
+// Package script implements runtime-loadable Custom Memory Cube
+// operations defined in external .cmc text files.
+//
+// The original simulator loads CMC operations from shared objects with
+// dlopen — code authored outside the core, compiled separately, and bound
+// at run time. Go has no portable equivalent, so this package preserves
+// the property that matters (operations enter a running simulator from
+// external files, without recompiling anything) with a small
+// stack-machine language:
+//
+//	# hmc_lock.cmc — the paper's Table V lock operation
+//	op hmc_lock
+//	rqst CMC125
+//	rqst_len 2
+//	rsp_len 2
+//	rsp_cmd WR_RS
+//
+//	exec:
+//	    load.lo         # push the lock word
+//	    jnz held
+//	    push 1
+//	    store.lo        # lock = 1
+//	    arg 0
+//	    store.hi        # owner = TID
+//	    push 1
+//	    ret 0           # response payload[0] = 1
+//	    halt
+//	held:
+//	    push 0
+//	    ret 0
+//	    halt
+//
+// The header directives carry exactly the required static globals of
+// paper Table III; the body is the cmc_execute implementation. Programs
+// run against a bounded operand stack with a step limit, so a malformed
+// script cannot hang or corrupt the simulation.
+package script
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cmc"
+	"repro/internal/hmccmd"
+	"repro/internal/mem"
+)
+
+// Interpreter limits.
+const (
+	// MaxSteps bounds one execution.
+	MaxSteps = 4096
+	// StackDepth bounds the operand stack.
+	StackDepth = 64
+)
+
+// Errors returned by parsing and execution.
+var (
+	// ErrSyntax reports a malformed script.
+	ErrSyntax = errors.New("script: syntax error")
+	// ErrStack reports operand stack underflow or overflow.
+	ErrStack = errors.New("script: stack fault")
+	// ErrSteps reports an execution exceeding MaxSteps.
+	ErrSteps = errors.New("script: step limit exceeded")
+	// ErrBadArg reports an out-of-range payload index.
+	ErrBadArg = errors.New("script: payload index out of range")
+)
+
+// opcode is one instruction kind.
+type opcode int
+
+const (
+	opPush    opcode = iota // push immediate
+	opArg                   // push request payload word
+	opLoadLo                // push memory block low word
+	opLoadHi                // push memory block high word
+	opStoreLo               // pop into memory block low word
+	opStoreHi               // pop into memory block high word
+	opAdd
+	opSub
+	opXor
+	opAnd
+	opOr
+	opNot
+	opEq  // pop b, a; push a == b
+	opLt  // pop b, a; push a < b (unsigned)
+	opGt  // pop b, a; push a > b (unsigned)
+	opDup // duplicate top of stack
+	opJmp
+	opJz  // pop; jump when zero
+	opJnz // pop; jump when non-zero
+	opRet // pop into response payload word
+	opHalt
+)
+
+type instr struct {
+	code opcode
+	imm  uint64
+	line int
+}
+
+// Program is a parsed CMC operation definition. It implements
+// cmc.Operation, so a parsed program loads into a simulator exactly like
+// a compiled one.
+type Program struct {
+	desc cmc.Descriptor
+	code []instr
+}
+
+// Register implements cmc.Operation.
+func (p *Program) Register() cmc.Descriptor { return p.desc }
+
+// Str implements cmc.Operation.
+func (p *Program) Str() string { return p.desc.OpName }
+
+// Execute implements cmc.Operation by interpreting the program body.
+func (p *Program) Execute(ctx *cmc.ExecContext) error {
+	base := ctx.Addr &^ 0xF
+	blk, err := ctx.Mem.ReadBlock(base)
+	if err != nil {
+		return err
+	}
+	dirty := false
+
+	var stack [StackDepth]uint64
+	sp := 0
+	push := func(v uint64) error {
+		if sp >= StackDepth {
+			return fmt.Errorf("%w: overflow", ErrStack)
+		}
+		stack[sp] = v
+		sp++
+		return nil
+	}
+	pop := func() (uint64, error) {
+		if sp == 0 {
+			return 0, fmt.Errorf("%w: underflow", ErrStack)
+		}
+		sp--
+		return stack[sp], nil
+	}
+
+	pc := 0
+	for steps := 0; ; steps++ {
+		if steps >= MaxSteps {
+			return ErrSteps
+		}
+		if pc < 0 || pc >= len(p.code) {
+			break // fell off the end: implicit halt
+		}
+		in := p.code[pc]
+		pc++
+		var a, b uint64
+		var err error
+		switch in.code {
+		case opPush:
+			err = push(in.imm)
+		case opArg:
+			if int(in.imm) >= len(ctx.RqstPayload) {
+				return fmt.Errorf("%w: arg %d of %d", ErrBadArg, in.imm, len(ctx.RqstPayload))
+			}
+			err = push(ctx.RqstPayload[in.imm])
+		case opLoadLo:
+			err = push(blk.Lo)
+		case opLoadHi:
+			err = push(blk.Hi)
+		case opStoreLo:
+			if a, err = pop(); err == nil {
+				blk.Lo = a
+				dirty = true
+			}
+		case opStoreHi:
+			if a, err = pop(); err == nil {
+				blk.Hi = a
+				dirty = true
+			}
+		case opAdd, opSub, opXor, opAnd, opOr, opEq, opLt, opGt:
+			if b, err = pop(); err != nil {
+				break
+			}
+			if a, err = pop(); err != nil {
+				break
+			}
+			var v uint64
+			switch in.code {
+			case opAdd:
+				v = a + b
+			case opSub:
+				v = a - b
+			case opXor:
+				v = a ^ b
+			case opAnd:
+				v = a & b
+			case opOr:
+				v = a | b
+			case opEq:
+				if a == b {
+					v = 1
+				}
+			case opLt:
+				if a < b {
+					v = 1
+				}
+			case opGt:
+				if a > b {
+					v = 1
+				}
+			}
+			err = push(v)
+		case opNot:
+			if a, err = pop(); err == nil {
+				err = push(^a)
+			}
+		case opDup:
+			if a, err = pop(); err == nil {
+				if err = push(a); err == nil {
+					err = push(a)
+				}
+			}
+		case opJmp:
+			pc = int(in.imm)
+		case opJz:
+			if a, err = pop(); err == nil && a == 0 {
+				pc = int(in.imm)
+			}
+		case opJnz:
+			if a, err = pop(); err == nil && a != 0 {
+				pc = int(in.imm)
+			}
+		case opRet:
+			if int(in.imm) >= len(ctx.RspPayload) {
+				return fmt.Errorf("%w: ret %d of %d response words", ErrBadArg, in.imm, len(ctx.RspPayload))
+			}
+			if a, err = pop(); err == nil {
+				ctx.RspPayload[in.imm] = a
+			}
+		case opHalt:
+			pc = len(p.code)
+		}
+		if err != nil {
+			return fmt.Errorf("line %d: %w", in.line, err)
+		}
+	}
+
+	if dirty {
+		return ctx.Mem.WriteBlock(base, mem.Block{Lo: blk.Lo, Hi: blk.Hi})
+	}
+	return nil
+}
+
+// Parse compiles a .cmc source text into a Program.
+func Parse(src string) (*Program, error) {
+	p := &Program{}
+	labels := map[string]int{}
+	type fixup struct {
+		label string
+		pc    int
+		line  int
+	}
+	var fixups []fixup
+	inBody := false
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		ln := lineNo + 1
+
+		if !inBody {
+			if line == "exec:" {
+				inBody = true
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("%w: line %d: header directive needs one value", ErrSyntax, ln)
+			}
+			if err := p.headerDirective(fields[0], fields[1], ln); err != nil {
+				return nil, err
+			}
+			continue
+		}
+
+		// Body: label or instruction.
+		if strings.HasSuffix(line, ":") {
+			name := strings.TrimSuffix(line, ":")
+			if _, dup := labels[name]; dup {
+				return nil, fmt.Errorf("%w: line %d: duplicate label %q", ErrSyntax, ln, name)
+			}
+			labels[name] = len(p.code)
+			continue
+		}
+		fields := strings.Fields(line)
+		in, needsLabel, err := decodeInstr(fields, ln)
+		if err != nil {
+			return nil, err
+		}
+		if needsLabel != "" {
+			fixups = append(fixups, fixup{label: needsLabel, pc: len(p.code), line: ln})
+		}
+		p.code = append(p.code, in)
+	}
+
+	for _, f := range fixups {
+		target, ok := labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("%w: line %d: unknown label %q", ErrSyntax, f.line, f.label)
+		}
+		p.code[f.pc].imm = uint64(target)
+	}
+	if !inBody {
+		return nil, fmt.Errorf("%w: missing exec: section", ErrSyntax)
+	}
+	if err := p.desc.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// headerDirective applies one of the Table III static-global directives.
+func (p *Program) headerDirective(key, val string, ln int) error {
+	switch key {
+	case "op":
+		p.desc.OpName = val
+	case "rqst":
+		if !strings.HasPrefix(val, "CMC") {
+			return fmt.Errorf("%w: line %d: rqst must name a CMC slot", ErrSyntax, ln)
+		}
+		code, err := strconv.ParseUint(strings.TrimPrefix(val, "CMC"), 10, 8)
+		if err != nil {
+			return fmt.Errorf("%w: line %d: %v", ErrSyntax, ln, err)
+		}
+		r, ok := hmccmd.CMCForCode(uint8(code))
+		if !ok {
+			return fmt.Errorf("%w: line %d: %s is not an unused command code", ErrSyntax, ln, val)
+		}
+		p.desc.Rqst = r
+		p.desc.Cmd = uint32(code)
+	case "rqst_len":
+		n, err := strconv.ParseUint(val, 10, 8)
+		if err != nil {
+			return fmt.Errorf("%w: line %d: %v", ErrSyntax, ln, err)
+		}
+		p.desc.RqstLen = uint8(n)
+	case "rsp_len":
+		n, err := strconv.ParseUint(val, 10, 8)
+		if err != nil {
+			return fmt.Errorf("%w: line %d: %v", ErrSyntax, ln, err)
+		}
+		p.desc.RspLen = uint8(n)
+	case "rsp_cmd":
+		switch val {
+		case "RD_RS":
+			p.desc.RspCmd = hmccmd.RdRS
+		case "WR_RS":
+			p.desc.RspCmd = hmccmd.WrRS
+		case "RSP_NONE":
+			p.desc.RspCmd = hmccmd.RspNone
+		default:
+			return fmt.Errorf("%w: line %d: unknown rsp_cmd %q", ErrSyntax, ln, val)
+		}
+	case "rsp_cmd_code":
+		n, err := strconv.ParseUint(val, 0, 8)
+		if err != nil {
+			return fmt.Errorf("%w: line %d: %v", ErrSyntax, ln, err)
+		}
+		p.desc.RspCmd = hmccmd.RspCMC
+		p.desc.RspCmdCode = uint8(n)
+	default:
+		return fmt.Errorf("%w: line %d: unknown directive %q", ErrSyntax, ln, key)
+	}
+	return nil
+}
+
+// decodeInstr parses one instruction line.
+func decodeInstr(fields []string, ln int) (instr, string, error) {
+	mn := fields[0]
+	simple := map[string]opcode{
+		"load.lo": opLoadLo, "load.hi": opLoadHi,
+		"store.lo": opStoreLo, "store.hi": opStoreHi,
+		"add": opAdd, "sub": opSub, "xor": opXor, "and": opAnd,
+		"or": opOr, "not": opNot, "eq": opEq, "lt": opLt, "gt": opGt,
+		"dup": opDup, "halt": opHalt,
+	}
+	if code, ok := simple[mn]; ok {
+		if len(fields) != 1 {
+			return instr{}, "", fmt.Errorf("%w: line %d: %s takes no operand", ErrSyntax, ln, mn)
+		}
+		return instr{code: code, line: ln}, "", nil
+	}
+	if len(fields) != 2 {
+		return instr{}, "", fmt.Errorf("%w: line %d: %s needs one operand", ErrSyntax, ln, mn)
+	}
+	switch mn {
+	case "push":
+		v, err := strconv.ParseUint(fields[1], 0, 64)
+		if err != nil {
+			return instr{}, "", fmt.Errorf("%w: line %d: %v", ErrSyntax, ln, err)
+		}
+		return instr{code: opPush, imm: v, line: ln}, "", nil
+	case "arg", "ret":
+		v, err := strconv.ParseUint(fields[1], 10, 8)
+		if err != nil {
+			return instr{}, "", fmt.Errorf("%w: line %d: %v", ErrSyntax, ln, err)
+		}
+		code := opArg
+		if mn == "ret" {
+			code = opRet
+		}
+		return instr{code: code, imm: v, line: ln}, "", nil
+	case "jmp", "jz", "jnz":
+		code := map[string]opcode{"jmp": opJmp, "jz": opJz, "jnz": opJnz}[mn]
+		return instr{code: code, line: ln}, fields[1], nil
+	default:
+		return instr{}, "", fmt.Errorf("%w: line %d: unknown instruction %q", ErrSyntax, ln, mn)
+	}
+}
+
+// LoadFile parses a .cmc file from disk — the dlopen moment: external
+// code enters the running simulator.
+func LoadFile(path string) (*Program, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("script: %w", err)
+	}
+	p, err := Parse(string(src))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}

@@ -1,0 +1,347 @@
+package script
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"repro/cmcops"
+	"repro/internal/cmc"
+	"repro/internal/hmccmd"
+	"repro/internal/mem"
+)
+
+// goMutexOps returns the compiled mutex trio for differential testing.
+func goMutexOps() []cmc.Operation { return cmcops.MutexOps() }
+
+const lockSrc = `
+# hmc_lock: paper Table V, command code 125
+op hmc_lock_s
+rqst CMC125
+rqst_len 2
+rsp_len 2
+rsp_cmd WR_RS
+
+exec:
+    load.lo
+    jnz held
+    push 1
+    store.lo
+    arg 0
+    store.hi
+    push 1
+    ret 0
+    halt
+held:
+    push 0
+    ret 0
+`
+
+const trylockSrc = `
+op hmc_trylock_s
+rqst CMC126
+rqst_len 2
+rsp_len 2
+rsp_cmd RD_RS
+
+exec:
+    load.lo
+    jnz held
+    push 1
+    store.lo
+    arg 0
+    store.hi
+    arg 0
+    ret 0
+    halt
+held:
+    load.hi
+    ret 0
+`
+
+const unlockSrc = `
+op hmc_unlock_s
+rqst CMC127
+rqst_len 2
+rsp_len 2
+rsp_cmd WR_RS
+
+exec:
+    load.hi
+    arg 0
+    eq
+    jz fail
+    load.lo
+    push 1
+    eq
+    jz fail
+    push 0
+    store.lo
+    push 1
+    ret 0
+    halt
+fail:
+    push 0
+    ret 0
+`
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func exec(t *testing.T, p *Program, store *mem.Store, addr, tid uint64) uint64 {
+	t.Helper()
+	ctx := &cmc.ExecContext{
+		Addr:        addr,
+		RqstPayload: []uint64{tid, 0},
+		RspPayload:  make([]uint64, 2),
+		Mem:         store,
+	}
+	if err := p.Execute(ctx); err != nil {
+		t.Fatalf("%s: %v", p.Str(), err)
+	}
+	return ctx.RspPayload[0]
+}
+
+func TestParseHeaderDescriptor(t *testing.T) {
+	p := mustParse(t, lockSrc)
+	d := p.Register()
+	if d.OpName != "hmc_lock_s" || d.Rqst != hmccmd.CMC125 || d.Cmd != 125 {
+		t.Errorf("descriptor %+v", d)
+	}
+	if d.RqstLen != 2 || d.RspLen != 2 || d.RspCmd != hmccmd.WrRS {
+		t.Errorf("descriptor %+v", d)
+	}
+	if p.Str() != "hmc_lock_s" {
+		t.Errorf("Str() = %q", p.Str())
+	}
+}
+
+func TestScriptLockSemantics(t *testing.T) {
+	lock := mustParse(t, lockSrc)
+	unlock := mustParse(t, unlockSrc)
+	store := mem.New(1 << 12)
+
+	if got := exec(t, lock, store, 0x40, 7); got != 1 {
+		t.Fatalf("first lock = %d", got)
+	}
+	blk, _ := store.ReadBlock(0x40)
+	if blk.Lo != 1 || blk.Hi != 7 {
+		t.Fatalf("state %+v", blk)
+	}
+	if got := exec(t, lock, store, 0x40, 9); got != 0 {
+		t.Fatalf("contended lock = %d", got)
+	}
+	if got := exec(t, unlock, store, 0x40, 9); got != 0 {
+		t.Fatalf("non-owner unlock = %d", got)
+	}
+	if got := exec(t, unlock, store, 0x40, 7); got != 1 {
+		t.Fatalf("owner unlock = %d", got)
+	}
+	blk, _ = store.ReadBlock(0x40)
+	if blk.Lo != 0 {
+		t.Fatalf("unlock left %+v", blk)
+	}
+}
+
+func TestScriptTrylockSemantics(t *testing.T) {
+	try := mustParse(t, trylockSrc)
+	store := mem.New(1 << 12)
+	if got := exec(t, try, store, 0, 5); got != 5 {
+		t.Fatalf("free trylock = %d", got)
+	}
+	if got := exec(t, try, store, 0, 6); got != 5 {
+		t.Fatalf("held trylock = %d, want owner 5", got)
+	}
+}
+
+// TestDifferentialAgainstGoOps drives random op sequences through both
+// the script programs and the compiled cmcops implementations and
+// requires identical memory states and responses.
+func TestDifferentialAgainstGoOps(t *testing.T) {
+	scripts := []*Program{mustParse(t, lockSrc), mustParse(t, trylockSrc), mustParse(t, unlockSrc)}
+	goOps := goMutexOps()
+	f := func(ops []uint8, tids []uint8) bool {
+		sStore := mem.New(1 << 12)
+		gStore := mem.New(1 << 12)
+		for i, op := range ops {
+			tid := uint64(1)
+			if i < len(tids) {
+				tid = uint64(tids[i])%8 + 1
+			}
+			k := int(op) % 3
+			sCtx := &cmc.ExecContext{Addr: 0x20, RqstPayload: []uint64{tid, 0}, RspPayload: make([]uint64, 2), Mem: sStore}
+			gCtx := &cmc.ExecContext{Addr: 0x20, RqstPayload: []uint64{tid, 0}, RspPayload: make([]uint64, 2), Mem: gStore}
+			if err := scripts[k].Execute(sCtx); err != nil {
+				return false
+			}
+			if err := goOps[k].Execute(gCtx); err != nil {
+				return false
+			}
+			if sCtx.RspPayload[0] != gCtx.RspPayload[0] {
+				return false
+			}
+			sBlk, _ := sStore.ReadBlock(0x20)
+			gBlk, _ := gStore.ReadBlock(0x20)
+			if sBlk != gBlk {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArithmeticOps(t *testing.T) {
+	src := `
+op calc
+rqst CMC85
+rqst_len 2
+rsp_len 2
+rsp_cmd RD_RS
+
+exec:
+    arg 0
+    push 10
+    add         # a+10
+    push 3
+    sub         # a+7
+    dup
+    xor         # 0
+    push 5
+    or          # 5
+    push 7
+    and         # 5
+    not
+    not         # 5
+    ret 0
+    push 2
+    push 3
+    lt
+    ret 1
+`
+	p := mustParse(t, src)
+	ctx := &cmc.ExecContext{RqstPayload: []uint64{100, 0}, RspPayload: make([]uint64, 2), Mem: mem.New(4096)}
+	if err := p.Execute(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.RspPayload[0] != 5 {
+		t.Errorf("payload[0] = %d, want 5", ctx.RspPayload[0])
+	}
+	if ctx.RspPayload[1] != 1 {
+		t.Errorf("payload[1] = %d, want 1 (2 < 3)", ctx.RspPayload[1])
+	}
+}
+
+func TestCustomResponseCodeDirective(t *testing.T) {
+	src := `
+op custom
+rqst CMC85
+rqst_len 1
+rsp_len 1
+rsp_cmd_code 0xC9
+
+exec:
+    halt
+`
+	p := mustParse(t, src)
+	d := p.Register()
+	if d.RspCmd != hmccmd.RspCMC || d.RspCmdCode != 0xC9 {
+		t.Errorf("descriptor %+v", d)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"missing exec", "op x\nrqst CMC85\nrqst_len 1\nrsp_len 1\nrsp_cmd WR_RS\n"},
+		{"unknown directive", "bogus 1\nexec:\n halt\n"},
+		{"architected rqst", "op x\nrqst CMC16\nrqst_len 1\nrsp_len 1\nrsp_cmd WR_RS\nexec:\n halt\n"},
+		{"non-cmc rqst", "op x\nrqst WR64\nexec:\n halt\n"},
+		{"unknown instr", "op x\nrqst CMC85\nrqst_len 1\nrsp_len 1\nrsp_cmd WR_RS\nexec:\n frobnicate\n"},
+		{"unknown label", "op x\nrqst CMC85\nrqst_len 1\nrsp_len 1\nrsp_cmd WR_RS\nexec:\n jmp nowhere\n"},
+		{"dup label", "op x\nrqst CMC85\nrqst_len 1\nrsp_len 1\nrsp_cmd WR_RS\nexec:\na:\na:\n halt\n"},
+		{"operand on simple", "op x\nrqst CMC85\nrqst_len 1\nrsp_len 1\nrsp_cmd WR_RS\nexec:\n add 3\n"},
+		{"missing operand", "op x\nrqst CMC85\nrqst_len 1\nrsp_len 1\nrsp_cmd WR_RS\nexec:\n push\n"},
+		{"bad rsp_cmd", "op x\nrqst CMC85\nrqst_len 1\nrsp_len 1\nrsp_cmd BOGUS\nexec:\n halt\n"},
+		{"invalid descriptor", "op x\nrqst CMC85\nrqst_len 0\nrsp_len 1\nrsp_cmd WR_RS\nexec:\n halt\n"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(tc.src); err == nil {
+			t.Errorf("%s: Parse succeeded", tc.name)
+		}
+	}
+}
+
+func TestRuntimeFaults(t *testing.T) {
+	// Stack underflow.
+	p := mustParse(t, "op x\nrqst CMC85\nrqst_len 1\nrsp_len 1\nrsp_cmd WR_RS\nexec:\n add\n")
+	err := p.Execute(&cmc.ExecContext{Mem: mem.New(4096)})
+	if !errors.Is(err, ErrStack) {
+		t.Errorf("underflow: %v", err)
+	}
+	// Infinite loop hits the step limit.
+	p = mustParse(t, "op x\nrqst CMC85\nrqst_len 1\nrsp_len 1\nrsp_cmd WR_RS\nexec:\nloop:\n jmp loop\n")
+	err = p.Execute(&cmc.ExecContext{Mem: mem.New(4096)})
+	if !errors.Is(err, ErrSteps) {
+		t.Errorf("loop: %v", err)
+	}
+	// Out-of-range payload access.
+	p = mustParse(t, "op x\nrqst CMC85\nrqst_len 1\nrsp_len 1\nrsp_cmd WR_RS\nexec:\n arg 5\n")
+	err = p.Execute(&cmc.ExecContext{Mem: mem.New(4096)})
+	if !errors.Is(err, ErrBadArg) {
+		t.Errorf("bad arg: %v", err)
+	}
+	// Out-of-range response write.
+	p = mustParse(t, "op x\nrqst CMC85\nrqst_len 1\nrsp_len 1\nrsp_cmd WR_RS\nexec:\n push 1\n ret 9\n")
+	err = p.Execute(&cmc.ExecContext{Mem: mem.New(4096)})
+	if !errors.Is(err, ErrBadArg) {
+		t.Errorf("bad ret: %v", err)
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lock.cmc")
+	if err := os.WriteFile(path, []byte(lockSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Str() != "hmc_lock_s" {
+		t.Errorf("loaded op %q", p.Str())
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.cmc")); err == nil {
+		t.Error("LoadFile(missing) succeeded")
+	}
+	bad := filepath.Join(dir, "bad.cmc")
+	if err := os.WriteFile(bad, []byte("nonsense"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(bad); err == nil {
+		t.Error("LoadFile(bad) succeeded")
+	}
+}
+
+func TestProgramLoadsIntoTable(t *testing.T) {
+	table := cmc.NewTable()
+	if err := table.Load(mustParse(t, lockSrc)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := table.Slot(125); !ok {
+		t.Error("script op not active in table")
+	}
+}

@@ -1,0 +1,225 @@
+package device
+
+import (
+	"sync"
+
+	"repro/internal/packet"
+	"repro/internal/trace"
+)
+
+// Clock advances the device by one cycle. See the package comment for the
+// phase model; the phase ordering is what gives an uncongested request
+// its three-cycle round trip while still enforcing queue capacity and
+// FIFO ordering under load.
+func (d *Device) Clock() {
+	d.cycle++
+	d.stats.Cycles++
+	d.responsePhase()
+	d.executePhase()
+	d.requestPhase()
+	d.samplePhase()
+}
+
+// responsePhase drains responses toward the host: vault response queues
+// into the crossbar's per-link response queues, then the crossbar queues
+// into the host link response queues. Processing vault->xbar before
+// xbar->link lets a response traverse the whole chain in one cycle when
+// uncongested.
+func (d *Device) responsePhase() {
+	for _, v := range d.vaults {
+		for {
+			f, ok := v.rsp.Peek()
+			if !ok {
+				break
+			}
+			if err := d.xbar.rsp[f.Link].Push(f); err != nil {
+				break // crossbar port full: head-of-line wait
+			}
+			v.rsp.Pop()
+		}
+	}
+	for li, l := range d.links {
+		q := d.xbar.rsp[li]
+		budget := d.Cfg.LinkFlitsPerCycle
+		for {
+			f, ok := q.Peek()
+			if !ok {
+				break
+			}
+			// Per-link SerDes bandwidth: stop when this cycle's FLIT
+			// budget cannot carry the next packet.
+			if flits := int(f.Rsp.LNG); flits > budget {
+				d.stats.LinkSerStalls++
+				break
+			}
+			// Link retry protocol: a packet whose CRC arrives bad is
+			// retransmitted after the retry sequence completes.
+			if stop := d.linkFault(l, &l.rspTraversals, &l.rspRetryUntil, nil, f.Rsp.TAG); stop {
+				break
+			}
+			if err := l.rsp.Push(f); err != nil {
+				break // host not draining: wait
+			}
+			budget -= int(f.Rsp.LNG)
+			q.Pop()
+			d.stats.Rsps++
+		}
+	}
+}
+
+// linkFault implements the deterministic CRC-fault injector and the
+// transaction-level retry protocol: every Nth traversal of a link is
+// corrupted, parking the head packet for LinkRetryCycles (error abort,
+// IRTRY exchange, retransmission from the retry buffer). It reports
+// whether the caller must stop moving packets on this link this cycle.
+func (d *Device) linkFault(l *Link, traversals, retryUntil *uint64, rqst *packet.Rqst, tag uint16) bool {
+	period := uint64(d.Cfg.LinkFaultPeriod)
+	if period == 0 {
+		return false
+	}
+	if d.cycle < *retryUntil {
+		return true // retry sequence still playing out
+	}
+	*traversals++
+	if *traversals%period != 0 {
+		return false
+	}
+	*retryUntil = d.cycle + uint64(d.Cfg.LinkRetryCycles)
+	l.Retries++
+	d.stats.LinkRetries++
+	if d.tracer.Enabled(trace.LevelStall) {
+		ev := trace.Event{
+			Cycle: d.cycle, Kind: trace.LevelStall,
+			Dev: d.ID, Quad: -1, Vault: -1, Bank: -1,
+			Tag: tag, Detail: "link CRC fault: retry sequence",
+		}
+		if rqst != nil {
+			ev.Cmd = rqst.Cmd.String()
+			ev.Addr = rqst.ADRS
+		}
+		d.tracer.Emit(ev)
+	}
+	return true
+}
+
+// executePhase services every vault's request queue. With Workers > 1
+// the vaults are serviced concurrently: the address map partitions
+// memory by vault, so vault executions are independent (each touches
+// only its own queues, banks and address range); per-worker statistics
+// are merged afterwards so the counters match the serial mode exactly.
+//
+// Parallel mode requires any loaded CMC operations to access only their
+// target block (true of every shipped operation) and a thread-safe
+// ExecHook; the sim layer enforces the latter.
+func (d *Device) executePhase() {
+	if d.Workers <= 1 {
+		for _, v := range d.vaults {
+			d.execVault(v, &d.stats)
+		}
+		return
+	}
+	workers := d.Workers
+	if workers > len(d.vaults) {
+		workers = len(d.vaults)
+	}
+	partials := make([]Stats, workers)
+	var wg sync.WaitGroup
+	chunk := (len(d.vaults) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(d.vaults) {
+			hi = len(d.vaults)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for _, v := range d.vaults[lo:hi] {
+				d.execVault(v, &partials[w])
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for i := range partials {
+		d.stats.merge(&partials[i])
+	}
+}
+
+// requestPhase advances requests into the device: host link request
+// queues into the crossbar's per-link request queues, then the crossbar
+// queues into the target vault request queues (routing on the address's
+// vault field). Link order gives deterministic arbitration.
+func (d *Device) requestPhase() {
+	for li, l := range d.links {
+		q := d.xbar.rqst[li]
+		budget := d.Cfg.LinkFlitsPerCycle
+		for {
+			f, ok := l.rqst.Peek()
+			if !ok {
+				break
+			}
+			flits := int(f.Rqst.LNG)
+			if flits == 0 {
+				flits = int(f.Rqst.Cmd.Info().RqstFlits)
+			}
+			if flits > budget {
+				d.stats.LinkSerStalls++
+				break
+			}
+			if stop := d.linkFault(l, &l.rqstTraversals, &l.rqstRetryUntil, f.Rqst, f.Rqst.TAG); stop {
+				break
+			}
+			if err := q.Push(f); err != nil {
+				break
+			}
+			budget -= flits
+			l.rqst.Pop()
+		}
+	}
+	for li := range d.links {
+		q := d.xbar.rqst[li]
+		for {
+			f, ok := q.Peek()
+			if !ok {
+				break
+			}
+			vault := d.vaults[d.amap.VaultOf(f.Rqst.ADRS)]
+			if err := vault.rqst.Push(f); err != nil {
+				// Full vault queue: strict FIFO per crossbar port means
+				// head-of-line blocking — the source of the 4Link/8Link
+				// divergence under hot-spot load (paper §V-C).
+				d.stats.XbarBackpressure++
+				if d.tracer.Enabled(trace.LevelStall) {
+					d.tracer.Emit(trace.Event{
+						Cycle: d.cycle, Kind: trace.LevelStall,
+						Dev: d.ID, Quad: vault.Quad, Vault: vault.ID, Bank: -1,
+						Cmd: f.Rqst.Cmd.String(), Tag: f.Rqst.TAG, Addr: f.Rqst.ADRS,
+						Detail: "xbar head blocked: vault request queue full",
+					})
+				}
+				break
+			}
+			q.Pop()
+		}
+	}
+}
+
+// samplePhase records occupancy statistics for every queue once per
+// cycle.
+func (d *Device) samplePhase() {
+	for _, l := range d.links {
+		l.rqst.Sample()
+		l.rsp.Sample()
+	}
+	for li := range d.links {
+		d.xbar.rqst[li].Sample()
+		d.xbar.rsp[li].Sample()
+	}
+	for _, v := range d.vaults {
+		v.rqst.Sample()
+		v.rsp.Sample()
+	}
+}

@@ -1,0 +1,311 @@
+// Package device models one Hybrid Memory Cube Gen2 device: host links, a
+// logic-layer crossbar, quadrants of vaults with banked DRAM, the atomic
+// and custom-memory-cube execution units, and a register file reachable
+// both over JTAG and via MD_RD/MD_WR mode requests.
+//
+// # Cycle model
+//
+// The simulator is a transaction-level cycle model in the spirit of the
+// original HMC-Sim: it deliberately carries no DRAM timing or power data
+// (paper §VII) and instead models packet movement through the device's
+// queueing structure. Each Clock() advances one device cycle in three
+// phases:
+//
+//  1. Response phase — responses drain vault response queues through the
+//     crossbar response queues to the host link response queues.
+//  2. Execute phase — every vault services its request queue in FIFO
+//     order: decode, bank-availability check, in-situ execution
+//     (read/write/AMO/CMC), and response construction.
+//  3. Request phase — requests drain host link request queues through the
+//     crossbar request queues into the vault request queues.
+//
+// Within a phase a packet traverses the whole queue chain when there is
+// space (the queues model capacity and ordering, not per-hop bandwidth),
+// so an uncongested request reaches its vault one cycle after Send, is
+// executed on the next cycle, and its response reaches the host link one
+// cycle later: a three-cycle round trip, which makes the paper's minimum
+// six-cycle lock+unlock sequence (Table VI) the uncongested floor.
+// Backpressure is real: a full downstream queue leaves packets queued
+// upstream (head-of-line blocking), and a full host link queue rejects
+// Send with ErrStall — the HMC_STALL condition.
+package device
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/amo"
+	"repro/internal/cmc"
+	"repro/internal/config"
+	"repro/internal/hmccmd"
+	"repro/internal/mem"
+	"repro/internal/packet"
+	"repro/internal/trace"
+)
+
+// Errors returned by the host-facing API.
+var (
+	// ErrStall mirrors HMC_STALL: the target link request queue is full
+	// and the host must retry on a later cycle.
+	ErrStall = errors.New("device: link request queue full (HMC_STALL)")
+	// ErrBadLink reports a link index outside the configuration.
+	ErrBadLink = errors.New("device: invalid link index")
+	// ErrWrongCUB reports a request whose CUB field does not address this
+	// device (topology routing is handled a level above).
+	ErrWrongCUB = errors.New("device: request CUB does not match device")
+)
+
+// ERRSTAT codes carried in error responses.
+const (
+	// ErrstatOK marks a successful response.
+	ErrstatOK uint8 = 0
+	// ErrstatBadAddr marks an out-of-range target address.
+	ErrstatBadAddr uint8 = 0x01
+	// ErrstatInactiveCMC marks a CMC request whose command has no active
+	// registered operation (paper §IV-C2).
+	ErrstatInactiveCMC uint8 = 0x02
+	// ErrstatCMCFault marks a CMC operation whose execute function
+	// returned an error.
+	ErrstatCMCFault uint8 = 0x03
+	// ErrstatInternal marks any other execution fault.
+	ErrstatInternal uint8 = 0x04
+	// ErrstatBlockViolation marks a DRAM request that exceeds the
+	// configured maximum block size or crosses a block boundary.
+	ErrstatBlockViolation uint8 = 0x05
+)
+
+// Bits posted to the ERR register on internal faults.
+const (
+	// ErrBitAMOFault marks an atomic-unit execution fault.
+	ErrBitAMOFault uint64 = 1 << 0
+	// ErrBitCMCFault marks a CMC execute-function fault.
+	ErrBitCMCFault uint64 = 1 << 1
+	// ErrBitAccessFault marks a dropped posted request (bad address or
+	// block violation) that had no response channel to report through.
+	ErrBitAccessFault uint64 = 1 << 2
+)
+
+// Flight is a packet in flight through the device, request or response
+// direction.
+type Flight struct {
+	// Rqst is set on the request path.
+	Rqst *packet.Rqst
+	// Rsp is set on the response path.
+	Rsp *packet.Rsp
+	// Link is the ingress link for requests and the egress link for
+	// responses.
+	Link int
+	// SendCycle is the device cycle the host submitted the request on.
+	SendCycle uint64
+	// ExecCycle is the device cycle the vault executed the request on.
+	ExecCycle uint64
+}
+
+// Stats aggregates device-lifetime counters.
+type Stats struct {
+	// Cycles is the number of Clock() calls.
+	Cycles uint64
+	// Rqsts counts executed requests by command class.
+	Rqsts [8]uint64
+	// Rsps counts responses delivered to host link queues.
+	Rsps uint64
+	// SendStalls counts Send rejections (HMC_STALL).
+	SendStalls uint64
+	// BankConflicts counts executions deferred because the bank was busy.
+	BankConflicts uint64
+	// XbarBackpressure counts cycles a crossbar queue head was blocked by
+	// a full vault queue.
+	XbarBackpressure uint64
+	// RspBackpressure counts vault executions deferred by a full response
+	// queue.
+	RspBackpressure uint64
+	// LinkSerStalls counts cycles a link port exhausted its per-cycle
+	// FLIT serialization budget with packets still waiting.
+	LinkSerStalls uint64
+	// LinkRetries counts completed link retry sequences (CRC-fault
+	// injection, Config.LinkFaultPeriod).
+	LinkRetries uint64
+	// RowHits and RowMisses count open-page outcomes when the row-buffer
+	// model is enabled (Config.RowMissPenaltyCycles).
+	RowHits, RowMisses uint64
+	// ErrResponses counts error responses generated.
+	ErrResponses uint64
+}
+
+// RqstsOfClass returns the executed-request count for one command class.
+func (s Stats) RqstsOfClass(c hmccmd.Class) uint64 { return s.Rqsts[c] }
+
+// merge folds a partial counter set (from one parallel-clock worker) into
+// the device totals. Cycle and link-side counters are never collected in
+// partials, so only the execute-phase fields are summed.
+func (s *Stats) merge(o *Stats) {
+	for i := range s.Rqsts {
+		s.Rqsts[i] += o.Rqsts[i]
+	}
+	s.BankConflicts += o.BankConflicts
+	s.RspBackpressure += o.RspBackpressure
+	s.RowHits += o.RowHits
+	s.RowMisses += o.RowMisses
+	s.ErrResponses += o.ErrResponses
+}
+
+// Device is one simulated HMC device.
+type Device struct {
+	// ID is the device's CUB identity.
+	ID int
+	// Cfg is the validated device configuration.
+	Cfg config.Config
+
+	links  []*Link
+	xbar   *Crossbar
+	vaults []*Vault
+	regs   *RegFile
+
+	amap   *addr.Map
+	store  *mem.Store
+	amoU   *amo.Unit
+	cmcTab *cmc.Table
+	tracer trace.Tracer
+
+	cycle uint64
+	stats Stats
+
+	// ExecHook, when non-nil, is invoked for every executed request with
+	// its command class, request/response FLIT counts and the number of
+	// 16-byte DRAM blocks touched. The simulator layer uses it to drive
+	// the optional power model without coupling the device to it. With
+	// Workers > 1 the hook is called concurrently and must be
+	// thread-safe.
+	ExecHook func(class hmccmd.Class, rqstFlits, rspFlits, dramBlocks int)
+
+	// Workers selects how many goroutines service vaults during the
+	// execute phase (values <= 1 mean serial). The vault partitioning of
+	// the address space makes parallel execution semantically identical
+	// to serial, except for the interleaving of trace-event emission
+	// within a cycle.
+	Workers int
+}
+
+// New builds a device from a configuration. A nil tracer disables
+// tracing.
+func New(id int, cfg config.Config, tracer trace.Tracer) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if id < 0 || id >= config.MaxDevs {
+		return nil, fmt.Errorf("device: id %d out of range [0,%d)", id, config.MaxDevs)
+	}
+	if tracer == nil {
+		tracer = trace.Nop{}
+	}
+	amap, err := addr.NewMap(cfg)
+	if err != nil {
+		return nil, err
+	}
+	d := &Device{
+		ID:     id,
+		Cfg:    cfg,
+		xbar:   newCrossbar(cfg),
+		regs:   newRegFile(cfg),
+		amap:   amap,
+		store:  mem.New(cfg.CapacityBytes()),
+		cmcTab: cmc.NewTable(),
+		tracer: tracer,
+	}
+	d.amoU = amo.New(d.store)
+	d.links = make([]*Link, cfg.Links)
+	for i := range d.links {
+		d.links[i] = newLink(i, cfg.LinkDepth)
+	}
+	d.vaults = make([]*Vault, cfg.Vaults)
+	for i := range d.vaults {
+		d.vaults[i] = newVault(i, cfg)
+	}
+	return d, nil
+}
+
+// Store exposes the device's backing memory for host-side initialization
+// (the simulated equivalent of pre-loading DRAM contents).
+func (d *Device) Store() *mem.Store { return d.store }
+
+// CMC exposes the device's CMC registration table; LoadCMC on the
+// simulator context is the usual entry point.
+func (d *Device) CMC() *cmc.Table { return d.cmcTab }
+
+// Regs exposes the device register file (the JTAG access path).
+func (d *Device) Regs() *RegFile { return d.regs }
+
+// AddrMap exposes the device's address decomposition.
+func (d *Device) AddrMap() *addr.Map { return d.amap }
+
+// Cycle returns the current device cycle.
+func (d *Device) Cycle() uint64 { return d.cycle }
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// Link returns the link model for stats inspection.
+func (d *Device) Link(i int) (*Link, error) {
+	if i < 0 || i >= len(d.links) {
+		return nil, fmt.Errorf("%w: %d", ErrBadLink, i)
+	}
+	return d.links[i], nil
+}
+
+// Vault returns the vault model for stats inspection.
+func (d *Device) Vault(i int) (*Vault, error) {
+	if i < 0 || i >= len(d.vaults) {
+		return nil, fmt.Errorf("device: invalid vault index %d", i)
+	}
+	return d.vaults[i], nil
+}
+
+// Xbar returns the crossbar model for stats inspection.
+func (d *Device) Xbar() *Crossbar { return d.xbar }
+
+// Send submits a decoded request on a host link. A full link queue
+// returns ErrStall. The request's CUB must address this device.
+func (d *Device) Send(link int, r *packet.Rqst) error {
+	if link < 0 || link >= len(d.links) {
+		return fmt.Errorf("%w: %d", ErrBadLink, link)
+	}
+	if int(r.CUB) != d.ID {
+		return fmt.Errorf("%w: CUB %d on device %d", ErrWrongCUB, r.CUB, d.ID)
+	}
+	f := &Flight{Rqst: r, Link: link, SendCycle: d.cycle}
+	if err := d.links[link].rqst.Push(f); err != nil {
+		d.stats.SendStalls++
+		if d.tracer.Enabled(trace.LevelStall) {
+			d.tracer.Emit(trace.Event{
+				Cycle: d.cycle, Kind: trace.LevelStall,
+				Dev: d.ID, Quad: -1, Vault: -1, Bank: -1,
+				Cmd: r.Cmd.String(), Tag: r.TAG, Addr: r.ADRS,
+				Detail: "send stall: link request queue full",
+			})
+		}
+		return ErrStall
+	}
+	return nil
+}
+
+// Recv pops the next available response from a host link; ok is false
+// when the link response queue is empty.
+func (d *Device) Recv(link int) (*packet.Rsp, bool) {
+	if link < 0 || link >= len(d.links) {
+		return nil, false
+	}
+	f, ok := d.links[link].rsp.Pop()
+	if !ok {
+		return nil, false
+	}
+	if d.tracer.Enabled(trace.LevelLatency) {
+		d.tracer.Emit(trace.Event{
+			Cycle: d.cycle, Kind: trace.LevelLatency,
+			Dev: d.ID, Quad: -1, Vault: -1, Bank: -1,
+			Cmd: f.Rsp.Cmd.String(), Tag: f.Rsp.TAG,
+			Value: d.cycle - f.SendCycle, Detail: "round-trip cycles at recv",
+		})
+	}
+	return f.Rsp, true
+}

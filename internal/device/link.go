@@ -1,0 +1,46 @@
+package device
+
+import "repro/internal/queue"
+
+// Link models one host-facing HMC link: a request queue carrying packets
+// into the device and a response queue carrying packets back to the host.
+//
+// HMC links may source from a host processor or from another cube when
+// devices are chained (the 1.0 chaining feature, routed by the topology
+// layer above the device); the device model itself is agnostic — both
+// kinds of traffic enter through the same queues.
+type Link struct {
+	// ID is the link index, matching the SLID field of packets that enter
+	// on it.
+	ID   int
+	rqst *queue.Queue[*Flight]
+	rsp  *queue.Queue[*Flight]
+
+	// Retry-protocol state (per direction): traversal counters drive the
+	// deterministic fault injector, and retryUntil parks the head packet
+	// while a retry sequence (error abort, IRTRY, retransmit) plays out.
+	rqstTraversals, rspTraversals uint64
+	rqstRetryUntil, rspRetryUntil uint64
+	// Retries counts completed retry sequences on this link.
+	Retries uint64
+}
+
+func newLink(id, depth int) *Link {
+	return &Link{
+		ID:   id,
+		rqst: queue.New[*Flight](depth),
+		rsp:  queue.New[*Flight](depth),
+	}
+}
+
+// RqstStats returns the request queue statistics.
+func (l *Link) RqstStats() queue.Stats { return l.rqst.Stats() }
+
+// RspStats returns the response queue statistics.
+func (l *Link) RspStats() queue.Stats { return l.rsp.Stats() }
+
+// RqstLen returns the current request queue occupancy.
+func (l *Link) RqstLen() int { return l.rqst.Len() }
+
+// RspLen returns the current response queue occupancy.
+func (l *Link) RspLen() int { return l.rsp.Len() }

@@ -1,0 +1,109 @@
+package device
+
+import (
+	"testing"
+
+	"repro/internal/cmc"
+	"repro/internal/config"
+	"repro/internal/hmccmd"
+	"repro/internal/packet"
+)
+
+// postedNotify is a posted CMC operation (rsp_len 0): it increments the
+// block's low word and returns nothing.
+type postedNotify struct{}
+
+func (postedNotify) Register() cmc.Descriptor {
+	return cmc.Descriptor{
+		OpName: "test_posted_notify", Rqst: hmccmd.CMC62, Cmd: 62,
+		RqstLen: 2, RspLen: 0, RspCmd: hmccmd.RspNone,
+	}
+}
+func (postedNotify) Str() string { return "test_posted_notify" }
+func (postedNotify) Execute(ctx *cmc.ExecContext) error {
+	base := ctx.Addr &^ 0xF
+	v, err := ctx.Mem.ReadUint64(base)
+	if err != nil {
+		return err
+	}
+	return ctx.Mem.WriteUint64(base, v+ctx.RqstPayload[0])
+}
+
+// TestPostedCMCOperation: a CMC op registered with rsp_len 0 executes
+// without generating a response packet (the optional-response behaviour
+// of paper §IV-C1).
+func TestPostedCMCOperation(t *testing.T) {
+	d := newDev(t, config.FourLink4GB())
+	if err := d.CMC().Load(postedNotify{}); err != nil {
+		t.Fatal(err)
+	}
+	r := &packet.Rqst{Cmd: hmccmd.CMC62, LNG: 2, ADRS: 0x40, TAG: 1, Payload: []uint64{5, 0}}
+	if err := d.Send(0, r); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		d.Clock()
+		if _, ok := d.Recv(0); ok {
+			t.Fatal("posted CMC op produced a response")
+		}
+	}
+	if v, _ := d.Store().ReadUint64(0x40); v != 5 {
+		t.Fatalf("posted CMC op not applied: %d", v)
+	}
+	if got := d.Stats().RqstsOfClass(hmccmd.ClassCMC); got != 1 {
+		t.Errorf("CMC rqsts = %d", got)
+	}
+}
+
+// TestPostedAtomicBadAddressDropsSilently: posted atomics to invalid
+// addresses cannot report an error response; they drop, latching the
+// fault in the ERR register.
+func TestPostedAtomicBadAddressDropsSilently(t *testing.T) {
+	d := newDev(t, config.FourLink4GB())
+	r := &packet.Rqst{Cmd: hmccmd.PINC8, ADRS: 3, TAG: 1} // misaligned
+	if err := d.Send(0, r); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		d.Clock()
+		if _, ok := d.Recv(0); ok {
+			t.Fatal("posted atomic produced a response")
+		}
+	}
+	v, err := d.Regs().Read(RegERR)
+	if err != nil || v&ErrBitAMOFault == 0 {
+		t.Errorf("ERR = %#x, %v; want AMO fault latched", v, err)
+	}
+}
+
+// TestModeUnknownRegister: MD_RD of a nonexistent register errors.
+func TestModeUnknownRegister(t *testing.T) {
+	d := newDev(t, config.FourLink4GB())
+	rsp, _ := roundTrip(t, d, &packet.Rqst{Cmd: hmccmd.MDRD, ADRS: 0x7F, TAG: 2})
+	if rsp.Cmd != hmccmd.RspError || rsp.ERRSTAT != ErrstatBadAddr {
+		t.Fatalf("MD_RD of bogus register: %+v", rsp)
+	}
+}
+
+// TestPostedWriteBlockViolationDrops: a posted write violating the block
+// size has no response channel; the packet is consumed.
+func TestPostedWriteBlockViolation(t *testing.T) {
+	d := newDev(t, config.FourLink4GB()) // 64-byte max block
+	r := &packet.Rqst{Cmd: hmccmd.PWR128, ADRS: 0, TAG: 3, Payload: make([]uint64, 16)}
+	if err := d.Send(0, r); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		d.Clock()
+		if rsp, ok := d.Recv(0); ok {
+			t.Fatalf("posted violation produced a response: %+v", rsp)
+		}
+	}
+	// Nothing was written, and the fault is latched in ERR.
+	if v, _ := d.Store().ReadUint64(0); v != 0 {
+		t.Fatalf("violating posted write stored data: %#x", v)
+	}
+	if v, _ := d.Regs().Read(RegERR); v&ErrBitAccessFault == 0 {
+		t.Errorf("ERR = %#x; access fault not latched", v)
+	}
+}

@@ -1,0 +1,89 @@
+package device
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/hmccmd"
+	"repro/internal/packet"
+)
+
+func TestBuildReport(t *testing.T) {
+	d := newDev(t, config.FourLink4GB())
+	// Two reads to vault 0, one to vault 1, one write to vault 2.
+	reqs := []*packet.Rqst{
+		{Cmd: hmccmd.RD16, ADRS: 0, TAG: 0},
+		{Cmd: hmccmd.RD16, ADRS: 0, TAG: 1},
+		{Cmd: hmccmd.RD16, ADRS: 64, TAG: 2},
+		{Cmd: hmccmd.WR16, ADRS: 128, TAG: 3, Payload: []uint64{1, 2}},
+	}
+	for _, r := range reqs {
+		if err := d.Send(0, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := 0
+	for c := 0; c < 10 && got < 4; c++ {
+		d.Clock()
+		for {
+			if _, ok := d.Recv(0); !ok {
+				break
+			}
+			got++
+		}
+	}
+	rep := d.BuildReport()
+	if rep.TotalOps() != 4 {
+		t.Errorf("TotalOps = %d", rep.TotalOps())
+	}
+	if rep.VaultOps[0] != 2 || rep.VaultOps[1] != 1 || rep.VaultOps[2] != 1 {
+		t.Errorf("VaultOps = %v", rep.VaultOps[:4])
+	}
+	// 4 ops over 32 vaults, busiest has 2: imbalance = 2/(4/32) = 16.
+	if got := rep.LoadImbalance(); got != 16.0 {
+		t.Errorf("LoadImbalance = %v, want 16", got)
+	}
+	text := rep.String()
+	for _, want := range []string{"READ=3", "WRITE=1", "4 requests executed", "imbalance"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestReportEmptyDevice(t *testing.T) {
+	d := newDev(t, config.FourLink4GB())
+	rep := d.BuildReport()
+	if rep.TotalOps() != 0 || rep.LoadImbalance() != 0 {
+		t.Errorf("empty report %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "0 requests executed") {
+		t.Errorf("report: %s", rep.String())
+	}
+}
+
+func TestReportRowBufferLine(t *testing.T) {
+	cfg := config.FourLink4GB()
+	cfg.BankLatencyCycles = 1
+	cfg.RowMissPenaltyCycles = 2
+	d := newDev(t, cfg)
+	for i := 0; i < 3; i++ {
+		if err := d.Send(0, &packet.Rqst{Cmd: hmccmd.RD16, ADRS: 0, TAG: uint16(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := 0
+	for c := 0; c < 20 && got < 3; c++ {
+		d.Clock()
+		for {
+			if _, ok := d.Recv(0); !ok {
+				break
+			}
+			got++
+		}
+	}
+	if !strings.Contains(d.BuildReport().String(), "row buffer") {
+		t.Error("row buffer line missing with page model enabled")
+	}
+}

@@ -1,0 +1,404 @@
+package device
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"repro/internal/addr"
+	"repro/internal/cmc"
+	"repro/internal/config"
+	"repro/internal/hmccmd"
+	"repro/internal/packet"
+	"repro/internal/queue"
+	"repro/internal/trace"
+)
+
+// Bank tracks the availability of one DRAM bank. A request executing at
+// cycle c occupies the bank through cycle c+BankLatencyCycles-1; with the
+// default latency of zero extra cycles the model is purely
+// transaction-level, matching the paper's timing-free abstraction (§VII).
+type Bank struct {
+	readyAt uint64
+	// openRow tracks the row left open by the last access, for the
+	// optional open-page timing model (Config.RowMissPenaltyCycles).
+	openRow uint64
+	hasRow  bool
+	// Ops counts requests serviced by this bank.
+	Ops uint64
+}
+
+// Vault is one vault controller: a request queue feeding banked DRAM and
+// a response queue draining to the crossbar.
+type Vault struct {
+	// ID is the device-global vault index; Quad is its quadrant.
+	ID, Quad int
+	rqst     *queue.Queue[*Flight]
+	rsp      *queue.Queue[*Flight]
+	banks    []Bank
+}
+
+func newVault(id int, cfg config.Config) *Vault {
+	return &Vault{
+		ID:    id,
+		Quad:  id / cfg.VaultsPerQuad(),
+		rqst:  queue.New[*Flight](cfg.QueueDepth),
+		rsp:   queue.New[*Flight](cfg.QueueDepth),
+		banks: make([]Bank, cfg.BanksPerVault),
+	}
+}
+
+// RqstStats returns the request queue statistics.
+func (v *Vault) RqstStats() queue.Stats { return v.rqst.Stats() }
+
+// RspStats returns the response queue statistics.
+func (v *Vault) RspStats() queue.Stats { return v.rsp.Stats() }
+
+// BankOps returns the per-bank service counts.
+func (v *Vault) BankOps() []uint64 {
+	out := make([]uint64, len(v.banks))
+	for i := range v.banks {
+		out[i] = v.banks[i].Ops
+	}
+	return out
+}
+
+// execVault services one vault's request queue for the current cycle:
+// FIFO order, head-of-line blocking on busy banks and on a full response
+// queue. This is the hmcsim_process_rqst() stage of paper Figure 3.
+func (d *Device) execVault(v *Vault, st *Stats) {
+	for {
+		f, ok := v.rqst.Peek()
+		if !ok {
+			return
+		}
+		r := f.Rqst
+		loc, locErr := d.amap.Decode(r.ADRS)
+
+		// Bank availability (only meaningful for in-range addresses).
+		if locErr == nil && d.Cfg.BankLatencyCycles > 0 {
+			if b := &v.banks[loc.Bank]; d.cycle < b.readyAt {
+				st.BankConflicts++
+				if d.tracer.Enabled(trace.LevelBank) {
+					d.tracer.Emit(trace.Event{
+						Cycle: d.cycle, Kind: trace.LevelBank,
+						Dev: d.ID, Quad: v.Quad, Vault: v.ID, Bank: loc.Bank,
+						Cmd: r.Cmd.String(), Tag: r.TAG, Addr: r.ADRS,
+						Detail: "bank busy",
+					})
+				}
+				return
+			}
+		}
+
+		// Response-queue space: every non-posted request needs one slot.
+		needsRsp := !r.Cmd.Posted() && r.Cmd.Info().Class != hmccmd.ClassFlow
+		if needsRsp && v.rsp.Full() {
+			st.RspBackpressure++
+			return
+		}
+
+		v.rqst.Pop()
+		f.ExecCycle = d.cycle
+		st.Rqsts[r.Cmd.Info().Class]++
+
+		if locErr == nil {
+			b := &v.banks[loc.Bank]
+			latency := uint64(d.Cfg.BankLatencyCycles)
+			if d.Cfg.BankLatencyCycles > 0 && d.Cfg.RowMissPenaltyCycles > 0 {
+				// Open-page model: a row miss pays precharge+activate.
+				if b.hasRow && b.openRow == loc.Row {
+					st.RowHits++
+				} else {
+					st.RowMisses++
+					latency += uint64(d.Cfg.RowMissPenaltyCycles)
+				}
+				b.openRow, b.hasRow = loc.Row, true
+			}
+			b.readyAt = d.cycle + latency
+			b.Ops++
+		}
+
+		rsp := d.executeRqst(v, f, loc, locErr, st)
+		if d.ExecHook != nil {
+			rspFlits := 0
+			if rsp != nil {
+				rspFlits = int(rsp.LNG)
+			}
+			rqstFlits := int(r.LNG)
+			if rqstFlits == 0 {
+				rqstFlits = int(r.Cmd.Info().RqstFlits)
+			}
+			d.ExecHook(r.Cmd.Info().Class, rqstFlits, rspFlits, dramBlocksOf(r.Cmd))
+		}
+		if d.tracer.Enabled(trace.LevelRqst) {
+			d.tracer.Emit(trace.Event{
+				Cycle: d.cycle, Kind: trace.LevelRqst,
+				Dev: d.ID, Quad: v.Quad, Vault: v.ID, Bank: bankOf(loc, locErr),
+				Cmd: r.Cmd.String(), Tag: r.TAG, Addr: r.ADRS,
+			})
+		}
+		if rsp == nil {
+			continue // posted or flow: no response packet
+		}
+		f.Rsp = rsp
+		f.Rqst = nil
+		// Space was checked above; a failed push here is a programming
+		// error surfaced by queue stats in tests.
+		_ = v.rsp.Push(f)
+		if d.tracer.Enabled(trace.LevelRsp) {
+			d.tracer.Emit(trace.Event{
+				Cycle: d.cycle, Kind: trace.LevelRsp,
+				Dev: d.ID, Quad: v.Quad, Vault: v.ID, Bank: bankOf(loc, locErr),
+				Cmd: rsp.Cmd.String(), Tag: rsp.TAG, Addr: r.ADRS,
+				Value: uint64(rsp.ERRSTAT),
+			})
+		}
+	}
+}
+
+// dramBlocksOf returns the number of 16-byte DRAM blocks an executed
+// command touches, for energy accounting.
+func dramBlocksOf(cmd hmccmd.Rqst) int {
+	info := cmd.Info()
+	switch info.Class {
+	case hmccmd.ClassRead, hmccmd.ClassWrite, hmccmd.ClassPostedWrite:
+		return int(info.DataBytes) / 16
+	case hmccmd.ClassAtomic, hmccmd.ClassPostedAtomic, hmccmd.ClassCMC:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func bankOf(loc addr.Location, err error) int {
+	if err != nil {
+		return -1
+	}
+	return loc.Bank
+}
+
+// executeRqst performs one request in-situ and builds its response (nil
+// for posted/flow commands).
+func (d *Device) executeRqst(v *Vault, f *Flight, loc addr.Location, locErr error, st *Stats) *packet.Rsp {
+	r := f.Rqst
+	info := r.Cmd.Info()
+
+	switch info.Class {
+	case hmccmd.ClassFlow:
+		return nil
+
+	case hmccmd.ClassCMC:
+		return d.executeCMC(v, f, loc, locErr, st)
+
+	case hmccmd.ClassMode:
+		return d.executeMode(f, st)
+	}
+
+	// All remaining classes address DRAM: validate the target first.
+	// Posted requests have no response channel, so their faults drop the
+	// packet and latch the device error register instead.
+	if locErr != nil || d.blockViolation(r) {
+		if r.Cmd.Posted() {
+			d.regs.PostError(ErrBitAccessFault)
+			st.ErrResponses++
+			return nil
+		}
+		if locErr != nil {
+			return d.errorRsp(f, ErrstatBadAddr, st)
+		}
+		return d.errorRsp(f, ErrstatBlockViolation, st)
+	}
+
+	switch info.Class {
+	case hmccmd.ClassRead:
+		buf := make([]byte, info.DataBytes)
+		if err := d.store.Read(r.ADRS, buf); err != nil {
+			return d.errorRsp(f, ErrstatBadAddr, st)
+		}
+		return d.dataRsp(f, info.Rsp, info.RspFlits, bytesToWords(buf), false)
+
+	case hmccmd.ClassWrite, hmccmd.ClassPostedWrite:
+		if err := d.store.Write(r.ADRS, wordsToBytes(r.Payload, int(info.DataBytes))); err != nil {
+			return d.errorRsp(f, ErrstatBadAddr, st)
+		}
+		if info.Class == hmccmd.ClassPostedWrite {
+			return nil
+		}
+		return d.dataRsp(f, info.Rsp, info.RspFlits, nil, false)
+
+	case hmccmd.ClassAtomic, hmccmd.ClassPostedAtomic:
+		res, err := d.amoU.Execute(r.Cmd, r.ADRS, r.Payload)
+		if err != nil {
+			d.regs.PostError(ErrBitAMOFault)
+			if info.Class == hmccmd.ClassPostedAtomic {
+				return nil
+			}
+			return d.errorRsp(f, ErrstatInternal, st)
+		}
+		if info.Class == hmccmd.ClassPostedAtomic {
+			return nil
+		}
+		payload := res.Payload
+		if want := 2 * (int(info.RspFlits) - 1); len(payload) != want {
+			padded := make([]uint64, want)
+			copy(padded, payload)
+			payload = padded
+		}
+		return d.dataRsp(f, info.Rsp, info.RspFlits, payload, res.DINV)
+	}
+	return d.errorRsp(f, ErrstatInternal, st)
+}
+
+// executeCMC dispatches a custom memory cube request against the device's
+// registration table (paper Figure 3): inactive commands yield an error
+// response, active commands run the user's execute function and are
+// traced under the op's registered name.
+func (d *Device) executeCMC(v *Vault, f *Flight, loc addr.Location, locErr error, st *Stats) *packet.Rsp {
+	r := f.Rqst
+	if _, ok := d.cmcTab.Slot(r.Cmd.Code()); !ok {
+		return d.errorRsp(f, ErrstatInactiveCMC, st)
+	}
+	if locErr != nil {
+		return d.errorRsp(f, ErrstatBadAddr, st)
+	}
+	ctx := &cmc.ExecContext{
+		Dev:         uint32(d.ID),
+		Quad:        uint32(v.Quad),
+		Vault:       uint32(v.ID),
+		Bank:        uint32(loc.Bank),
+		Addr:        r.ADRS,
+		Length:      uint32(r.LNG),
+		Head:        r.EncodeHead(),
+		Tail:        r.EncodeTail(),
+		RqstPayload: r.Payload,
+		Mem:         d.store,
+		Cycle:       d.cycle,
+	}
+	slot2, err := d.cmcTab.Execute(r.Cmd.Code(), ctx)
+	if err != nil {
+		if errors.Is(err, cmc.ErrInactive) {
+			return d.errorRsp(f, ErrstatInactiveCMC, st)
+		}
+		d.regs.PostError(ErrBitCMCFault)
+		return d.errorRsp(f, ErrstatCMCFault, st)
+	}
+	if d.tracer.Enabled(trace.LevelCMC) {
+		d.tracer.Emit(trace.Event{
+			Cycle: d.cycle, Kind: trace.LevelCMC,
+			Dev: d.ID, Quad: v.Quad, Vault: v.ID, Bank: loc.Bank,
+			Cmd: slot2.Op.Str(), Tag: r.TAG, Addr: r.ADRS,
+		})
+	}
+	desc := slot2.Desc
+	if desc.RspLen == 0 {
+		return nil // posted CMC operation
+	}
+	rsp := &packet.Rsp{
+		Cmd:     desc.RspCmd,
+		CUB:     uint8(d.ID),
+		TAG:     r.TAG,
+		LNG:     desc.RspLen,
+		SLID:    r.SLID,
+		Payload: ctx.RspPayload,
+	}
+	if desc.RspCmd == hmccmd.RspCMC {
+		rsp.CmdCode = desc.RspCmdCode
+	} else if code, ok := desc.RspCmd.Code(); ok {
+		rsp.CmdCode = code
+	}
+	return rsp
+}
+
+// executeMode services MD_RD/MD_WR mode requests: the ADRS field selects
+// the register.
+func (d *Device) executeMode(f *Flight, st *Stats) *packet.Rsp {
+	r := f.Rqst
+	reg := Reg(r.ADRS & 0xFF)
+	switch r.Cmd {
+	case hmccmd.MDRD:
+		val, err := d.regs.Read(reg)
+		if err != nil {
+			return d.errorRsp(f, ErrstatBadAddr, st)
+		}
+		return d.dataRsp(f, hmccmd.MdRdRS, r.Cmd.Info().RspFlits, []uint64{val, 0}, false)
+	case hmccmd.MDWR:
+		if err := d.regs.Write(reg, r.Payload[0]); err != nil {
+			return d.errorRsp(f, ErrstatBadAddr, st)
+		}
+		return d.dataRsp(f, hmccmd.MdWrRS, r.Cmd.Info().RspFlits, nil, false)
+	}
+	return d.errorRsp(f, ErrstatInternal, st)
+}
+
+// blockViolation reports a DRAM request that exceeds the configured
+// maximum block size or crosses an interleave-block boundary; the HMC
+// specification forbids both.
+func (d *Device) blockViolation(r *packet.Rqst) bool {
+	n := uint64(r.Cmd.Info().DataBytes)
+	if n == 0 {
+		return false
+	}
+	block := uint64(d.Cfg.MaxBlockSize)
+	if n > block {
+		return true
+	}
+	return r.ADRS%block+n > block
+}
+
+// dataRsp builds a success response.
+func (d *Device) dataRsp(f *Flight, cmd hmccmd.Resp, flits uint8, payload []uint64, dinv bool) *packet.Rsp {
+	r := f.Rqst
+	if want := 2 * (int(flits) - 1); len(payload) != want {
+		padded := make([]uint64, want)
+		copy(padded, payload)
+		payload = padded
+	}
+	rsp := &packet.Rsp{
+		Cmd:     cmd,
+		CUB:     uint8(d.ID),
+		TAG:     r.TAG,
+		LNG:     flits,
+		SLID:    r.SLID,
+		DINV:    dinv,
+		Payload: payload,
+	}
+	if code, ok := cmd.Code(); ok {
+		rsp.CmdCode = code
+	}
+	return rsp
+}
+
+// errorRsp builds a one-FLIT error response carrying an ERRSTAT code.
+func (d *Device) errorRsp(f *Flight, errstat uint8, st *Stats) *packet.Rsp {
+	st.ErrResponses++
+	r := f.Rqst
+	code, _ := hmccmd.RspError.Code()
+	return &packet.Rsp{
+		Cmd:     hmccmd.RspError,
+		CmdCode: code,
+		CUB:     uint8(d.ID),
+		TAG:     r.TAG,
+		LNG:     1,
+		SLID:    r.SLID,
+		DINV:    true,
+		ERRSTAT: errstat,
+	}
+}
+
+// bytesToWords packs bytes into little-endian 64-bit payload words.
+func bytesToWords(b []byte) []uint64 {
+	out := make([]uint64, len(b)/8)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+	return out
+}
+
+// wordsToBytes unpacks payload words into n little-endian bytes.
+func wordsToBytes(words []uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n/8 && i < len(words); i++ {
+		binary.LittleEndian.PutUint64(out[8*i:], words[i])
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package hmccmd
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestCMCSlotCount(t *testing.T) {
+	// Paper §IV-A: the Gen2 command space leaves exactly 70 unused codes.
+	slots := CMCSlots()
+	if len(slots) != NumCMCSlots {
+		t.Fatalf("CMCSlots() returned %d slots, want %d", len(slots), NumCMCSlots)
+	}
+	if got := NumRqst - len(Architected()); got != NumCMCSlots {
+		t.Fatalf("enum space has %d CMC entries, want %d", got, NumCMCSlots)
+	}
+}
+
+func TestCMCSlotsAscendingAndUnused(t *testing.T) {
+	prev := -1
+	for _, r := range CMCSlots() {
+		info := r.Info()
+		if int(info.Code) <= prev {
+			t.Errorf("%s: code %d not ascending after %d", info.Name, info.Code, prev)
+		}
+		prev = int(info.Code)
+		if info.Class != ClassCMC {
+			t.Errorf("%s: class = %v, want ClassCMC", info.Name, info.Class)
+		}
+		if want := fmt.Sprintf("CMC%d", info.Code); info.Name != want {
+			t.Errorf("slot name %q does not encode its decimal code, want %q", info.Name, want)
+		}
+	}
+}
+
+func TestPaperMutexSlotsAreCMC(t *testing.T) {
+	// Paper Table V uses command codes 125, 126 and 127 for the mutex ops.
+	for _, tc := range []struct {
+		r    Rqst
+		code uint8
+	}{{CMC125, 125}, {CMC126, 126}, {CMC127, 127}} {
+		if !tc.r.IsCMC() {
+			t.Errorf("%v: IsCMC() = false", tc.r)
+		}
+		if tc.r.Code() != tc.code {
+			t.Errorf("%v: code = %d, want %d", tc.r, tc.r.Code(), tc.code)
+		}
+	}
+}
+
+func TestCodeRoundTrip(t *testing.T) {
+	for code := 0; code < NumCodes; code++ {
+		r, ok := FromCode(uint8(code))
+		if !ok {
+			t.Fatalf("FromCode(%d) not ok", code)
+		}
+		if got := r.Code(); got != uint8(code) {
+			t.Errorf("FromCode(%d).Code() = %d", code, got)
+		}
+	}
+	if _, ok := FromCode(128); ok {
+		t.Error("FromCode(128) succeeded; want failure for out-of-range code")
+	}
+}
+
+func TestCodeRoundTripQuick(t *testing.T) {
+	f := func(code uint8) bool {
+		code &= 0x7F
+		r, ok := FromCode(code)
+		return ok && r.Code() == code && r.Valid()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTableI verifies every command row of Table I of the paper.
+func TestTableI(t *testing.T) {
+	rows := []struct {
+		r         Rqst
+		rqstFlits uint8
+		rspFlits  uint8
+	}{
+		{RD256, 1, 17},
+		{WR256, 17, 1},
+		{PWR256, 17, 0},
+		{TWOADD8, 2, 1},
+		{ADD16, 2, 1},
+		{P2ADD8, 2, 0},
+		{PADD16, 2, 0},
+		{TWOADDS8R, 2, 2},
+		{ADDS16R, 2, 2},
+		{INC8, 1, 1},
+		{PINC8, 1, 0},
+		{XOR16, 2, 2},
+		{OR16, 2, 2},
+		{NOR16, 2, 2},
+		{AND16, 2, 2},
+		{NAND16, 2, 2},
+		{CASGT8, 2, 2},
+		{CASGT16, 2, 2},
+		{CASLT8, 2, 2},
+		{CASLT16, 2, 2},
+		{CASEQ8, 2, 2},
+		{CASZERO16, 2, 2},
+		{EQ8, 2, 1},
+		{EQ16, 2, 1},
+		{BWR, 2, 1},
+		{PBWR, 2, 0},
+		{BWR8R, 2, 2},
+		{SWAP16, 2, 2},
+	}
+	for _, row := range rows {
+		info := row.r.Info()
+		if info.RqstFlits != row.rqstFlits {
+			t.Errorf("%s: request flits = %d, want %d", info.Name, info.RqstFlits, row.rqstFlits)
+		}
+		if info.RspFlits != row.rspFlits {
+			t.Errorf("%s: response flits = %d, want %d", info.Name, info.RspFlits, row.rspFlits)
+		}
+	}
+}
+
+func TestWriteFlitArithmetic(t *testing.T) {
+	// A write of n data bytes occupies 1 header/tail FLIT + n/16 data FLITs.
+	for _, r := range Architected() {
+		info := r.Info()
+		switch info.Class {
+		case ClassWrite, ClassPostedWrite:
+			want := 1 + info.DataBytes/FlitBytes
+			if uint16(info.RqstFlits) != want {
+				t.Errorf("%s: rqst flits %d, want %d", info.Name, info.RqstFlits, want)
+			}
+		case ClassRead:
+			want := 1 + info.DataBytes/FlitBytes
+			if uint16(info.RspFlits) != want {
+				t.Errorf("%s: rsp flits %d, want %d", info.Name, info.RspFlits, want)
+			}
+			if info.RqstFlits != 1 {
+				t.Errorf("%s: rqst flits %d, want 1", info.Name, info.RqstFlits)
+			}
+		}
+	}
+}
+
+func TestPostedCommandsHaveNoResponse(t *testing.T) {
+	for r := Rqst(0); int(r) < NumRqst; r++ {
+		info := r.Info()
+		if info.Rsp == RspNone && info.RspFlits != 0 {
+			t.Errorf("%s: posted/flow command with %d response flits", info.Name, info.RspFlits)
+		}
+		if info.Rsp != RspNone && info.RspFlits == 0 {
+			t.Errorf("%s: response command %v but zero response flits", info.Name, info.Rsp)
+		}
+		if r.Posted() != (info.Rsp == RspNone && info.Class != ClassFlow) {
+			t.Errorf("%s: Posted() inconsistent with table", info.Name)
+		}
+	}
+}
+
+func TestMaxPacketBounds(t *testing.T) {
+	for r := Rqst(0); int(r) < NumRqst; r++ {
+		info := r.Info()
+		if info.RqstFlits < 1 || info.RqstFlits > MaxPacketFlits {
+			t.Errorf("%s: request flits %d out of [1,%d]", info.Name, info.RqstFlits, MaxPacketFlits)
+		}
+		if info.RspFlits > MaxPacketFlits {
+			t.Errorf("%s: response flits %d exceeds %d", info.Name, info.RspFlits, MaxPacketFlits)
+		}
+	}
+}
+
+func TestRespCodeRoundTrip(t *testing.T) {
+	for _, resp := range []Resp{RspNone, RdRS, WrRS, MdRdRS, MdWrRS, RspError} {
+		code, ok := resp.Code()
+		if !ok {
+			t.Fatalf("%v: Code() not ok", resp)
+		}
+		if got := RespFromCode(code); got != resp {
+			t.Errorf("RespFromCode(%#x) = %v, want %v", code, got, resp)
+		}
+	}
+	if _, ok := RspCMC.Code(); ok {
+		t.Error("RspCMC.Code() returned an architected code")
+	}
+	if got := RespFromCode(0x7F); got != RspCMC {
+		t.Errorf("RespFromCode(0x7F) = %v, want RspCMC", got)
+	}
+}
+
+func TestCMCForCode(t *testing.T) {
+	if _, ok := CMCForCode(0x08); ok {
+		t.Error("CMCForCode accepted architected WR16 code")
+	}
+	r, ok := CMCForCode(125)
+	if !ok || r != CMC125 {
+		t.Errorf("CMCForCode(125) = %v, %v; want CMC125, true", r, ok)
+	}
+	if _, ok := CMCForCode(200); ok {
+		t.Error("CMCForCode accepted out-of-range code")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if WR64.String() != "WR64" {
+		t.Errorf("WR64.String() = %q", WR64.String())
+	}
+	if CMC125.String() != "CMC125" {
+		t.Errorf("CMC125.String() = %q", CMC125.String())
+	}
+	if RdRS.String() != "RD_RS" {
+		t.Errorf("RdRS.String() = %q", RdRS.String())
+	}
+	if ClassAtomic.String() != "ATOMIC" {
+		t.Errorf("ClassAtomic.String() = %q", ClassAtomic.String())
+	}
+	if got := Rqst(250).String(); got != "Rqst(250)" {
+		t.Errorf("invalid enum String() = %q", got)
+	}
+}
+
+func TestInfoPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Info() on invalid enum did not panic")
+		}
+	}()
+	Rqst(255).Info()
+}

@@ -1,0 +1,210 @@
+package hmccmd
+
+import "fmt"
+
+// The CMCnn request enums. One enum exists for each of the 70 command
+// codes left unused by the Gen2 specification; nn is the decimal command
+// code (paper §IV-C1: "Each of the seventy unused command codes was added
+// to the hmc_rqst_t enumerated type table as CMCnn"). The constants are
+// declared in ascending command-code order.
+const (
+	CMC4 Rqst = cmcBase + iota
+	CMC5
+	CMC6
+	CMC7
+	CMC20
+	CMC21
+	CMC22
+	CMC23
+	CMC32
+	CMC36
+	CMC37
+	CMC38
+	CMC39
+	CMC41
+	CMC42
+	CMC43
+	CMC44
+	CMC45
+	CMC46
+	CMC47
+	CMC56
+	CMC57
+	CMC58
+	CMC59
+	CMC60
+	CMC61
+	CMC62
+	CMC63
+	CMC69
+	CMC70
+	CMC71
+	CMC72
+	CMC73
+	CMC74
+	CMC75
+	CMC76
+	CMC77
+	CMC78
+	CMC85
+	CMC86
+	CMC87
+	CMC88
+	CMC89
+	CMC90
+	CMC91
+	CMC92
+	CMC93
+	CMC94
+	CMC95
+	CMC102
+	CMC103
+	CMC107
+	CMC108
+	CMC109
+	CMC110
+	CMC112
+	CMC113
+	CMC114
+	CMC115
+	CMC116
+	CMC117
+	CMC118
+	CMC120
+	CMC121
+	CMC122
+	CMC123
+	CMC124
+	CMC125
+	CMC126
+	CMC127
+)
+
+// cmcCodes lists the 70 unused Gen2 command codes in ascending order,
+// parallel to the CMCnn constant block above.
+var cmcCodes = [NumCMCSlots]uint8{
+	4, 5, 6, 7,
+	20, 21, 22, 23,
+	32,
+	36, 37, 38, 39,
+	41, 42, 43, 44, 45, 46, 47,
+	56, 57, 58, 59, 60, 61, 62, 63,
+	69, 70, 71, 72, 73, 74, 75, 76, 77, 78,
+	85, 86, 87, 88, 89, 90, 91, 92, 93, 94, 95,
+	102, 103,
+	107, 108, 109, 110,
+	112, 113, 114, 115, 116, 117, 118,
+	120, 121, 122, 123, 124, 125, 126, 127,
+}
+
+// infoTable holds the architected properties for every enumerated request.
+// Architected command codes follow the HMC 2.1 specification; FLIT counts
+// follow Table I of the paper (request and response lengths include the
+// packet header and tail, so the minimum packet is one FLIT and the
+// maximum is seventeen).
+var infoTable = [NumRqst]Info{
+	FlowNull: {Name: "FLOW_NULL", Code: 0x00, RqstFlits: 1, RspFlits: 0, Rsp: RspNone, Class: ClassFlow},
+	PRET:     {Name: "PRET", Code: 0x01, RqstFlits: 1, RspFlits: 0, Rsp: RspNone, Class: ClassFlow},
+	TRET:     {Name: "TRET", Code: 0x02, RqstFlits: 1, RspFlits: 0, Rsp: RspNone, Class: ClassFlow},
+	IRTRY:    {Name: "IRTRY", Code: 0x03, RqstFlits: 1, RspFlits: 0, Rsp: RspNone, Class: ClassFlow},
+
+	WR16:  {Name: "WR16", Code: 0x08, RqstFlits: 2, RspFlits: 1, Rsp: WrRS, Class: ClassWrite, DataBytes: 16},
+	WR32:  {Name: "WR32", Code: 0x09, RqstFlits: 3, RspFlits: 1, Rsp: WrRS, Class: ClassWrite, DataBytes: 32},
+	WR48:  {Name: "WR48", Code: 0x0A, RqstFlits: 4, RspFlits: 1, Rsp: WrRS, Class: ClassWrite, DataBytes: 48},
+	WR64:  {Name: "WR64", Code: 0x0B, RqstFlits: 5, RspFlits: 1, Rsp: WrRS, Class: ClassWrite, DataBytes: 64},
+	WR80:  {Name: "WR80", Code: 0x0C, RqstFlits: 6, RspFlits: 1, Rsp: WrRS, Class: ClassWrite, DataBytes: 80},
+	WR96:  {Name: "WR96", Code: 0x0D, RqstFlits: 7, RspFlits: 1, Rsp: WrRS, Class: ClassWrite, DataBytes: 96},
+	WR112: {Name: "WR112", Code: 0x0E, RqstFlits: 8, RspFlits: 1, Rsp: WrRS, Class: ClassWrite, DataBytes: 112},
+	WR128: {Name: "WR128", Code: 0x0F, RqstFlits: 9, RspFlits: 1, Rsp: WrRS, Class: ClassWrite, DataBytes: 128},
+	WR256: {Name: "WR256", Code: 0x4F, RqstFlits: 17, RspFlits: 1, Rsp: WrRS, Class: ClassWrite, DataBytes: 256},
+
+	MDWR: {Name: "MD_WR", Code: 0x10, RqstFlits: 2, RspFlits: 1, Rsp: MdWrRS, Class: ClassMode, DataBytes: 16},
+	MDRD: {Name: "MD_RD", Code: 0x28, RqstFlits: 1, RspFlits: 2, Rsp: MdRdRS, Class: ClassMode, DataBytes: 16},
+
+	PWR16:  {Name: "P_WR16", Code: 0x18, RqstFlits: 2, RspFlits: 0, Rsp: RspNone, Class: ClassPostedWrite, DataBytes: 16},
+	PWR32:  {Name: "P_WR32", Code: 0x19, RqstFlits: 3, RspFlits: 0, Rsp: RspNone, Class: ClassPostedWrite, DataBytes: 32},
+	PWR48:  {Name: "P_WR48", Code: 0x1A, RqstFlits: 4, RspFlits: 0, Rsp: RspNone, Class: ClassPostedWrite, DataBytes: 48},
+	PWR64:  {Name: "P_WR64", Code: 0x1B, RqstFlits: 5, RspFlits: 0, Rsp: RspNone, Class: ClassPostedWrite, DataBytes: 64},
+	PWR80:  {Name: "P_WR80", Code: 0x1C, RqstFlits: 6, RspFlits: 0, Rsp: RspNone, Class: ClassPostedWrite, DataBytes: 80},
+	PWR96:  {Name: "P_WR96", Code: 0x1D, RqstFlits: 7, RspFlits: 0, Rsp: RspNone, Class: ClassPostedWrite, DataBytes: 96},
+	PWR112: {Name: "P_WR112", Code: 0x1E, RqstFlits: 8, RspFlits: 0, Rsp: RspNone, Class: ClassPostedWrite, DataBytes: 112},
+	PWR128: {Name: "P_WR128", Code: 0x1F, RqstFlits: 9, RspFlits: 0, Rsp: RspNone, Class: ClassPostedWrite, DataBytes: 128},
+	PWR256: {Name: "P_WR256", Code: 0x6F, RqstFlits: 17, RspFlits: 0, Rsp: RspNone, Class: ClassPostedWrite, DataBytes: 256},
+
+	RD16:  {Name: "RD16", Code: 0x30, RqstFlits: 1, RspFlits: 2, Rsp: RdRS, Class: ClassRead, DataBytes: 16},
+	RD32:  {Name: "RD32", Code: 0x31, RqstFlits: 1, RspFlits: 3, Rsp: RdRS, Class: ClassRead, DataBytes: 32},
+	RD48:  {Name: "RD48", Code: 0x32, RqstFlits: 1, RspFlits: 4, Rsp: RdRS, Class: ClassRead, DataBytes: 48},
+	RD64:  {Name: "RD64", Code: 0x33, RqstFlits: 1, RspFlits: 5, Rsp: RdRS, Class: ClassRead, DataBytes: 64},
+	RD80:  {Name: "RD80", Code: 0x34, RqstFlits: 1, RspFlits: 6, Rsp: RdRS, Class: ClassRead, DataBytes: 80},
+	RD96:  {Name: "RD96", Code: 0x35, RqstFlits: 1, RspFlits: 7, Rsp: RdRS, Class: ClassRead, DataBytes: 96},
+	RD112: {Name: "RD112", Code: 0x36, RqstFlits: 1, RspFlits: 8, Rsp: RdRS, Class: ClassRead, DataBytes: 112},
+	RD128: {Name: "RD128", Code: 0x37, RqstFlits: 1, RspFlits: 9, Rsp: RdRS, Class: ClassRead, DataBytes: 128},
+	RD256: {Name: "RD256", Code: 0x77, RqstFlits: 1, RspFlits: 17, Rsp: RdRS, Class: ClassRead, DataBytes: 256},
+
+	BWR:   {Name: "BWR", Code: 0x11, RqstFlits: 2, RspFlits: 1, Rsp: WrRS, Class: ClassAtomic, DataBytes: 16},
+	PBWR:  {Name: "P_BWR", Code: 0x21, RqstFlits: 2, RspFlits: 0, Rsp: RspNone, Class: ClassPostedAtomic, DataBytes: 16},
+	BWR8R: {Name: "BWR8R", Code: 0x51, RqstFlits: 2, RspFlits: 2, Rsp: RdRS, Class: ClassAtomic, DataBytes: 16},
+
+	TWOADD8:   {Name: "2ADD8", Code: 0x12, RqstFlits: 2, RspFlits: 1, Rsp: WrRS, Class: ClassAtomic, DataBytes: 16},
+	ADD16:     {Name: "ADD16", Code: 0x13, RqstFlits: 2, RspFlits: 1, Rsp: WrRS, Class: ClassAtomic, DataBytes: 16},
+	P2ADD8:    {Name: "P_2ADD8", Code: 0x22, RqstFlits: 2, RspFlits: 0, Rsp: RspNone, Class: ClassPostedAtomic, DataBytes: 16},
+	PADD16:    {Name: "P_ADD16", Code: 0x23, RqstFlits: 2, RspFlits: 0, Rsp: RspNone, Class: ClassPostedAtomic, DataBytes: 16},
+	TWOADDS8R: {Name: "2ADDS8R", Code: 0x52, RqstFlits: 2, RspFlits: 2, Rsp: RdRS, Class: ClassAtomic, DataBytes: 16},
+	ADDS16R:   {Name: "ADDS16R", Code: 0x53, RqstFlits: 2, RspFlits: 2, Rsp: RdRS, Class: ClassAtomic, DataBytes: 16},
+	INC8:      {Name: "INC8", Code: 0x50, RqstFlits: 1, RspFlits: 1, Rsp: WrRS, Class: ClassAtomic},
+	PINC8:     {Name: "P_INC8", Code: 0x54, RqstFlits: 1, RspFlits: 0, Rsp: RspNone, Class: ClassPostedAtomic},
+
+	XOR16:  {Name: "XOR16", Code: 0x40, RqstFlits: 2, RspFlits: 2, Rsp: RdRS, Class: ClassAtomic, DataBytes: 16},
+	OR16:   {Name: "OR16", Code: 0x41, RqstFlits: 2, RspFlits: 2, Rsp: RdRS, Class: ClassAtomic, DataBytes: 16},
+	NOR16:  {Name: "NOR16", Code: 0x42, RqstFlits: 2, RspFlits: 2, Rsp: RdRS, Class: ClassAtomic, DataBytes: 16},
+	AND16:  {Name: "AND16", Code: 0x43, RqstFlits: 2, RspFlits: 2, Rsp: RdRS, Class: ClassAtomic, DataBytes: 16},
+	NAND16: {Name: "NAND16", Code: 0x44, RqstFlits: 2, RspFlits: 2, Rsp: RdRS, Class: ClassAtomic, DataBytes: 16},
+
+	CASGT8:    {Name: "CASGT8", Code: 0x60, RqstFlits: 2, RspFlits: 2, Rsp: RdRS, Class: ClassAtomic, DataBytes: 16},
+	CASLT8:    {Name: "CASLT8", Code: 0x61, RqstFlits: 2, RspFlits: 2, Rsp: RdRS, Class: ClassAtomic, DataBytes: 16},
+	CASGT16:   {Name: "CASGT16", Code: 0x62, RqstFlits: 2, RspFlits: 2, Rsp: RdRS, Class: ClassAtomic, DataBytes: 16},
+	CASLT16:   {Name: "CASLT16", Code: 0x63, RqstFlits: 2, RspFlits: 2, Rsp: RdRS, Class: ClassAtomic, DataBytes: 16},
+	CASEQ8:    {Name: "CASEQ8", Code: 0x64, RqstFlits: 2, RspFlits: 2, Rsp: RdRS, Class: ClassAtomic, DataBytes: 16},
+	CASZERO16: {Name: "CASZERO16", Code: 0x65, RqstFlits: 2, RspFlits: 2, Rsp: RdRS, Class: ClassAtomic, DataBytes: 16},
+	EQ16:      {Name: "EQ16", Code: 0x68, RqstFlits: 2, RspFlits: 1, Rsp: WrRS, Class: ClassAtomic, DataBytes: 16},
+	EQ8:       {Name: "EQ8", Code: 0x69, RqstFlits: 2, RspFlits: 1, Rsp: WrRS, Class: ClassAtomic, DataBytes: 16},
+	SWAP16:    {Name: "SWAP16", Code: 0x6A, RqstFlits: 2, RspFlits: 2, Rsp: RdRS, Class: ClassAtomic, DataBytes: 16},
+}
+
+// codeTable maps each 7-bit command code to its request enum.
+var codeTable [NumCodes]Rqst
+
+func init() {
+	// Populate the CMC block of infoTable. Until a CMC operation is
+	// registered against a slot the architected defaults are a one-FLIT
+	// request and a one-FLIT custom response.
+	for i, code := range cmcCodes {
+		r := cmcBase + Rqst(i)
+		infoTable[r] = Info{
+			Name:      fmt.Sprintf("CMC%d", code),
+			Code:      code,
+			RqstFlits: 1,
+			RspFlits:  1,
+			Rsp:       RspCMC,
+			Class:     ClassCMC,
+		}
+	}
+
+	// Build the code -> enum reverse map and verify that the table is
+	// internally consistent: every one of the 128 codes must be claimed by
+	// exactly one enum.
+	seen := [NumCodes]bool{}
+	for r := Rqst(0); int(r) < NumRqst; r++ {
+		code := infoTable[r].Code
+		if seen[code] {
+			panic(fmt.Sprintf("hmccmd: duplicate command code %d (%s)", code, infoTable[r].Name))
+		}
+		seen[code] = true
+		codeTable[code] = r
+	}
+	for code, ok := range seen {
+		if !ok {
+			panic(fmt.Sprintf("hmccmd: command code %d unclaimed", code))
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package mem implements the sparse DRAM backing store for simulated HMC
+// devices.
+//
+// An HMC device presents up to 8 GB of physical storage; allocating that
+// eagerly per simulated device would be wasteful, so the store allocates
+// fixed-size pages on first write. Reads of never-written memory return
+// zeros, matching the simulator's "initialized to a known state"
+// assumption (paper §V-A).
+//
+// The minimum DRAM access granularity in the HMC is 16 bytes (one FLIT of
+// data, paper §V-A), so the store provides 16-byte block accessors used by
+// the atomic and CMC execution units, alongside arbitrary-span accessors
+// used by the read/write datapath.
+package mem
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// PageBytes is the allocation granularity of the sparse store.
+const PageBytes = 4096
+
+// BlockBytes is the minimum DRAM access granularity (one data FLIT).
+const BlockBytes = 16
+
+// Errors returned by the store.
+var (
+	// ErrOutOfBounds reports an access beyond the configured capacity.
+	ErrOutOfBounds = errors.New("mem: access out of bounds")
+	// ErrUnaligned reports a block access not aligned to 16 bytes.
+	ErrUnaligned = errors.New("mem: block access not 16-byte aligned")
+)
+
+// Store is a sparse, lazily allocated memory of fixed capacity. All
+// methods are safe for concurrent use.
+type Store struct {
+	mu       sync.RWMutex
+	pages    map[uint64]*[PageBytes]byte
+	capacity uint64
+}
+
+// New returns a store of the given capacity in bytes.
+func New(capacity uint64) *Store {
+	return &Store{
+		pages:    make(map[uint64]*[PageBytes]byte),
+		capacity: capacity,
+	}
+}
+
+// Capacity returns the configured capacity in bytes.
+func (s *Store) Capacity() uint64 { return s.capacity }
+
+// AllocatedBytes returns the number of bytes of page storage currently
+// materialized.
+func (s *Store) AllocatedBytes() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return uint64(len(s.pages)) * PageBytes
+}
+
+func (s *Store) check(addr uint64, n int) error {
+	if n < 0 || addr >= s.capacity || uint64(n) > s.capacity-addr {
+		return fmt.Errorf("%w: addr %#x len %d capacity %#x", ErrOutOfBounds, addr, n, s.capacity)
+	}
+	return nil
+}
+
+// Read copies len(p) bytes starting at addr into p. Unwritten memory
+// reads as zero.
+func (s *Store) Read(addr uint64, p []byte) error {
+	if err := s.check(addr, len(p)); err != nil {
+		return err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for done := 0; done < len(p); {
+		pageIdx := (addr + uint64(done)) / PageBytes
+		off := int((addr + uint64(done)) % PageBytes)
+		n := min(len(p)-done, PageBytes-off)
+		if page, ok := s.pages[pageIdx]; ok {
+			copy(p[done:done+n], page[off:off+n])
+		} else {
+			clear(p[done : done+n])
+		}
+		done += n
+	}
+	return nil
+}
+
+// Write copies p into the store starting at addr, materializing pages as
+// needed.
+func (s *Store) Write(addr uint64, p []byte) error {
+	if err := s.check(addr, len(p)); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for done := 0; done < len(p); {
+		pageIdx := (addr + uint64(done)) / PageBytes
+		off := int((addr + uint64(done)) % PageBytes)
+		n := min(len(p)-done, PageBytes-off)
+		page, ok := s.pages[pageIdx]
+		if !ok {
+			page = new([PageBytes]byte)
+			s.pages[pageIdx] = page
+		}
+		copy(page[off:off+n], p[done:done+n])
+		done += n
+	}
+	return nil
+}
+
+// ReadUint64 reads a little-endian 64-bit word at addr.
+func (s *Store) ReadUint64(addr uint64) (uint64, error) {
+	var b [8]byte
+	if err := s.Read(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// WriteUint64 writes a little-endian 64-bit word at addr.
+func (s *Store) WriteUint64(addr, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return s.Write(addr, b[:])
+}
+
+// Block is one 16-byte DRAM block viewed as two little-endian 64-bit
+// words; Lo holds bytes [7:0] (bits [63:0] in the paper's mutex layout)
+// and Hi holds bytes [15:8] (bits [127:64]).
+type Block struct {
+	Lo, Hi uint64
+}
+
+// blockAddr validates and returns the aligned base address of a block.
+func blockAddr(addr uint64) (uint64, error) {
+	if addr%BlockBytes != 0 {
+		return 0, fmt.Errorf("%w: addr %#x", ErrUnaligned, addr)
+	}
+	return addr, nil
+}
+
+// ReadBlock reads the aligned 16-byte block at addr.
+func (s *Store) ReadBlock(addr uint64) (Block, error) {
+	base, err := blockAddr(addr)
+	if err != nil {
+		return Block{}, err
+	}
+	var b [BlockBytes]byte
+	if err := s.Read(base, b[:]); err != nil {
+		return Block{}, err
+	}
+	return Block{
+		Lo: binary.LittleEndian.Uint64(b[0:8]),
+		Hi: binary.LittleEndian.Uint64(b[8:16]),
+	}, nil
+}
+
+// WriteBlock writes the aligned 16-byte block at addr.
+func (s *Store) WriteBlock(addr uint64, blk Block) error {
+	base, err := blockAddr(addr)
+	if err != nil {
+		return err
+	}
+	var b [BlockBytes]byte
+	binary.LittleEndian.PutUint64(b[0:8], blk.Lo)
+	binary.LittleEndian.PutUint64(b[8:16], blk.Hi)
+	return s.Write(base, b[:])
+}
+
+// Reset drops all materialized pages, returning the store to all-zeros.
+func (s *Store) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pages = make(map[uint64]*[PageBytes]byte)
+}

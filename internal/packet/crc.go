@@ -1,0 +1,41 @@
+package packet
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// The HMC specification protects every packet with a 32-bit CRC using the
+// Koopman polynomial (0x741B8CD7). The CRC is computed over the entire
+// packet, little-endian byte order, with the 32-bit CRC field of the tail
+// set to zero, and is stored in tail bits [63:32].
+var koopmanTable = crc32.MakeTable(crc32.Koopman)
+
+// packetCRC computes the packet CRC over the word-level wire form. The
+// caller must pass the packet with the tail CRC field still zero.
+func packetCRC(words []uint64) uint32 {
+	var buf [8]byte
+	crc := uint32(0)
+	for _, w := range words {
+		binary.LittleEndian.PutUint64(buf[:], w)
+		crc = crc32.Update(crc, koopmanTable, buf[:])
+	}
+	return crc
+}
+
+// crcWithTailZeroed computes the packet CRC of an encoded packet whose
+// tail already carries a CRC, by zeroing the CRC field for the
+// computation.
+func crcWithTailZeroed(words []uint64) uint32 {
+	var buf [8]byte
+	crc := uint32(0)
+	last := len(words) - 1
+	for i, w := range words {
+		if i == last {
+			w &= 0x00000000FFFFFFFF
+		}
+		binary.LittleEndian.PutUint64(buf[:], w)
+		crc = crc32.Update(crc, koopmanTable, buf[:])
+	}
+	return crc
+}

@@ -1,0 +1,131 @@
+// Package queue provides the bounded FIFO substrate used throughout the
+// simulated device: link request/response queues, crossbar queues and
+// vault request queues (paper §V-B: "a request queue depth of 64 slots and
+// a logic-layer crossbar queue depth of 128 slots").
+//
+// Queues collect occupancy statistics so simulations can report queueing
+// pressure — the mechanism behind the 4Link/8Link divergence in the
+// paper's Figures 5-7.
+package queue
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrFull is returned by Push when the queue is at capacity; it is the
+// queue-level analogue of the simulator's HMC_STALL condition.
+var ErrFull = errors.New("queue: full")
+
+// Stats aggregates the lifetime behaviour of one queue.
+type Stats struct {
+	// Pushes and Pops count successful operations.
+	Pushes, Pops uint64
+	// Stalls counts Push attempts rejected because the queue was full.
+	Stalls uint64
+	// MaxOccupancy is the high-water mark of queue length.
+	MaxOccupancy int
+	// occupancySum accumulates length samples for AvgOccupancy.
+	occupancySum uint64
+	samples      uint64
+}
+
+// AvgOccupancy returns the mean queue length across all Sample calls, or
+// zero if the queue was never sampled.
+func (s Stats) AvgOccupancy() float64 {
+	if s.samples == 0 {
+		return 0
+	}
+	return float64(s.occupancySum) / float64(s.samples)
+}
+
+// Samples returns how many occupancy samples have been taken.
+func (s Stats) Samples() uint64 { return s.samples }
+
+// Queue is a bounded FIFO over elements of type T. It is not safe for
+// concurrent use; the simulator clocks queues from a single goroutine.
+type Queue[T any] struct {
+	buf   []T
+	head  int
+	count int
+	stats Stats
+}
+
+// New returns a queue with the given capacity. It panics if capacity is
+// not positive, which always indicates a configuration error upstream.
+func New[T any](capacity int) *Queue[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("queue: invalid capacity %d", capacity))
+	}
+	return &Queue[T]{buf: make([]T, capacity)}
+}
+
+// Cap returns the queue capacity.
+func (q *Queue[T]) Cap() int { return len(q.buf) }
+
+// Len returns the current number of queued elements.
+func (q *Queue[T]) Len() int { return q.count }
+
+// Empty reports whether the queue holds no elements.
+func (q *Queue[T]) Empty() bool { return q.count == 0 }
+
+// Full reports whether the queue is at capacity.
+func (q *Queue[T]) Full() bool { return q.count == len(q.buf) }
+
+// Push appends v to the tail. A full queue returns ErrFull and records a
+// stall.
+func (q *Queue[T]) Push(v T) error {
+	if q.Full() {
+		q.stats.Stalls++
+		return ErrFull
+	}
+	q.buf[(q.head+q.count)%len(q.buf)] = v
+	q.count++
+	q.stats.Pushes++
+	if q.count > q.stats.MaxOccupancy {
+		q.stats.MaxOccupancy = q.count
+	}
+	return nil
+}
+
+// Pop removes and returns the head element; ok is false on an empty
+// queue.
+func (q *Queue[T]) Pop() (v T, ok bool) {
+	if q.count == 0 {
+		return v, false
+	}
+	v = q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	q.stats.Pops++
+	return v, true
+}
+
+// Peek returns the head element without removing it; ok is false on an
+// empty queue.
+func (q *Queue[T]) Peek() (v T, ok bool) {
+	if q.count == 0 {
+		return v, false
+	}
+	return q.buf[q.head], true
+}
+
+// Sample records the current occupancy into the running statistics. The
+// simulator samples every queue once per clock cycle.
+func (q *Queue[T]) Sample() {
+	q.stats.occupancySum += uint64(q.count)
+	q.stats.samples++
+}
+
+// Stats returns a copy of the queue's lifetime statistics.
+func (q *Queue[T]) Stats() Stats { return q.stats }
+
+// Reset empties the queue and clears its statistics.
+func (q *Queue[T]) Reset() {
+	clear(q.buf)
+	q.head = 0
+	q.count = 0
+	q.stats = Stats{}
+}

@@ -1,0 +1,169 @@
+package queue
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	q := New[int](4)
+	for i := 1; i <= 4; i++ {
+		if err := q.Push(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= 4; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d: got %d, %v", i, v, ok)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Error("pop on empty queue succeeded")
+	}
+}
+
+func TestFullAndStallAccounting(t *testing.T) {
+	q := New[string](2)
+	_ = q.Push("a")
+	_ = q.Push("b")
+	if !q.Full() {
+		t.Error("queue not full at capacity")
+	}
+	if err := q.Push("c"); !errors.Is(err, ErrFull) {
+		t.Errorf("push on full queue: %v", err)
+	}
+	if got := q.Stats().Stalls; got != 1 {
+		t.Errorf("stalls = %d, want 1", got)
+	}
+	if got := q.Stats().Pushes; got != 2 {
+		t.Errorf("pushes = %d, want 2", got)
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	q := New[int](3)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			if err := q.Push(round*3 + i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			v, ok := q.Pop()
+			if !ok || v != round*3+i {
+				t.Fatalf("round %d: got %d, %v", round, v, ok)
+			}
+		}
+	}
+}
+
+func TestPeek(t *testing.T) {
+	q := New[int](2)
+	if _, ok := q.Peek(); ok {
+		t.Error("peek on empty queue succeeded")
+	}
+	_ = q.Push(9)
+	v, ok := q.Peek()
+	if !ok || v != 9 {
+		t.Fatalf("peek: %d, %v", v, ok)
+	}
+	if q.Len() != 1 {
+		t.Error("peek consumed the element")
+	}
+}
+
+func TestOccupancyStats(t *testing.T) {
+	q := New[int](8)
+	_ = q.Push(1)
+	q.Sample() // occupancy 1
+	_ = q.Push(2)
+	_ = q.Push(3)
+	q.Sample() // occupancy 3
+	st := q.Stats()
+	if st.MaxOccupancy != 3 {
+		t.Errorf("max occupancy = %d, want 3", st.MaxOccupancy)
+	}
+	if got := st.AvgOccupancy(); got != 2.0 {
+		t.Errorf("avg occupancy = %v, want 2.0", got)
+	}
+	if st.Samples() != 2 {
+		t.Errorf("samples = %d, want 2", st.Samples())
+	}
+}
+
+func TestReset(t *testing.T) {
+	q := New[int](2)
+	_ = q.Push(1)
+	q.Sample()
+	q.Reset()
+	if !q.Empty() || q.Stats().Pushes != 0 || q.Stats().Samples() != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestNewPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New[int](0)
+}
+
+// TestFIFOInvariantQuick drives a random push/pop sequence against a model
+// slice and checks the queue preserves order and conservation.
+func TestFIFOInvariantQuick(t *testing.T) {
+	f := func(ops []bool, vals []uint16) bool {
+		q := New[uint16](16)
+		var model []uint16
+		vi := 0
+		for _, isPush := range ops {
+			if isPush {
+				v := uint16(0)
+				if vi < len(vals) {
+					v = vals[vi]
+					vi++
+				}
+				err := q.Push(v)
+				if len(model) < 16 {
+					if err != nil {
+						return false
+					}
+					model = append(model, v)
+				} else if !errors.Is(err, ErrFull) {
+					return false
+				}
+			} else {
+				v, ok := q.Pop()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+			if q.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	q := New[uint64](64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = q.Push(uint64(i))
+		q.Pop()
+	}
+}

@@ -1,0 +1,322 @@
+// Package sim implements the simulation context — the hmc_sim_t
+// equivalent tying devices, topology, tracing, the CMC registry and the
+// optional power extension behind one host-facing API:
+//
+//	s, _ := sim.New(config.FourLink4GB())
+//	_ = s.LoadCMC("hmc_lock")                      // hmc_load_cmc()
+//	r, _ := sim.BuildRead(0, addr, tag, link, 64)  // hmcsim_build_memrequest()
+//	_ = s.Send(link, r)                            // hmcsim_send()
+//	s.Clock()                                      // hmcsim_clock()
+//	rsp, ok := s.Recv(link)                        // hmcsim_recv()
+//
+// The API mirrors the C library's call structure (paper §IV-A "API
+// Compatibility") so simulation drivers written against HMC-Sim translate
+// mechanically.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/cmc"
+	"repro/internal/config"
+	"repro/internal/device"
+	"repro/internal/hmccmd"
+	"repro/internal/jtag"
+	"repro/internal/packet"
+	"repro/internal/power"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// ErrBadSize reports a read/write size with no architected command.
+var ErrBadSize = errors.New("sim: no command for requested size")
+
+type options struct {
+	tracer      trace.Tracer
+	devices     int
+	kind        topo.Kind
+	powerParams *power.Params
+	powerModel  *power.Model
+	observer    func(*Simulator)
+	workers     int
+}
+
+// Option configures a Simulator.
+type Option func(*options)
+
+// WithTracer attaches a trace sink.
+func WithTracer(t trace.Tracer) Option {
+	return func(o *options) { o.tracer = t }
+}
+
+// WithDevices simulates n chained devices wired as kind.
+func WithDevices(n int, kind topo.Kind) Option {
+	return func(o *options) { o.devices = n; o.kind = kind }
+}
+
+// WithPower enables the power extension with the given coefficients.
+func WithPower(p power.Params) Option {
+	return func(o *options) { o.powerParams = &p }
+}
+
+// WithPowerModel enables the power extension accumulating into a model
+// the caller retains — useful when the simulator is constructed inside a
+// workload runner.
+func WithPowerModel(m *power.Model) Option {
+	return func(o *options) { o.powerModel = m }
+}
+
+// WithObserver calls fn with the simulator as soon as it is constructed,
+// giving the caller a handle even when construction happens inside a
+// workload runner (for post-run device reports, JTAG pokes, etc.).
+func WithObserver(fn func(*Simulator)) Option {
+	return func(o *options) { o.observer = fn }
+}
+
+// WithParallelClock services vaults with n worker goroutines during each
+// device's execute phase. The address map partitions memory by vault, so
+// results are identical to serial execution; large configurations with
+// heavy per-cycle load simulate faster on multicore hosts. CMC
+// operations must touch only their target block (all shipped operations
+// do).
+func WithParallelClock(n int) Option {
+	return func(o *options) { o.workers = n }
+}
+
+// Simulator is one simulation context.
+type Simulator struct {
+	cfg   config.Config
+	topo  *topo.Topology
+	pm    *power.Model
+	cycle uint64
+}
+
+// New builds a simulation context for identically configured devices.
+func New(cfg config.Config, opts ...Option) (*Simulator, error) {
+	o := options{devices: 1, kind: topo.KindSingle}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	tp, err := topo.New(o.kind, o.devices, cfg, o.tracer)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{cfg: cfg, topo: tp}
+	if o.powerModel != nil {
+		s.pm = o.powerModel
+	} else if o.powerParams != nil {
+		s.pm = power.New(*o.powerParams)
+	}
+	if s.pm != nil {
+		hook := s.pm.ChargeRequest
+		if o.workers > 1 {
+			// The power model is not thread-safe; serialize the hook
+			// under parallel clocking.
+			var mu sync.Mutex
+			inner := hook
+			hook = func(class hmccmd.Class, rqstFlits, rspFlits, dramBlocks int) {
+				mu.Lock()
+				defer mu.Unlock()
+				inner(class, rqstFlits, rspFlits, dramBlocks)
+			}
+		}
+		for _, d := range tp.Devices() {
+			d.ExecHook = hook
+		}
+	}
+	if o.workers > 1 {
+		for _, d := range tp.Devices() {
+			d.Workers = o.workers
+		}
+	}
+	if o.observer != nil {
+		o.observer(s)
+	}
+	return s, nil
+}
+
+// Config returns the per-device configuration.
+func (s *Simulator) Config() config.Config { return s.cfg }
+
+// Cycle returns the current simulation cycle.
+func (s *Simulator) Cycle() uint64 { return s.cycle }
+
+// Clock advances the whole simulation one cycle (hmcsim_clock).
+func (s *Simulator) Clock() {
+	s.cycle++
+	s.topo.Clock()
+	if s.pm != nil {
+		s.pm.ChargeCycles(uint64(len(s.topo.Devices())))
+	}
+}
+
+// Send submits a request on a host link (hmcsim_send); the request's CUB
+// field selects the target cube. A full link queue returns
+// device.ErrStall.
+func (s *Simulator) Send(link int, r *packet.Rqst) error {
+	return s.topo.Send(link, r)
+}
+
+// Recv pops the next response from a host link (hmcsim_recv).
+func (s *Simulator) Recv(link int) (*packet.Rsp, bool) {
+	return s.topo.Recv(link)
+}
+
+// LoadCMC resolves a registered CMC operation by name — the hmc_load_cmc
+// analogue of dlopen'ing a shared object — and binds a fresh instance of
+// it into every device's CMC table.
+func (s *Simulator) LoadCMC(name string) error {
+	for _, d := range s.topo.Devices() {
+		op, err := cmc.Open(name)
+		if err != nil {
+			return err
+		}
+		if err := d.CMC().Load(op); err != nil {
+			return fmt.Errorf("sim: loading %q into cube %d: %w", name, d.ID, err)
+		}
+	}
+	return nil
+}
+
+// LoadCMCOp binds an already-constructed operation into every device.
+// Operations holding state are shared across cubes; use LoadCMC for
+// per-device instances.
+func (s *Simulator) LoadCMCOp(op cmc.Operation) error {
+	for _, d := range s.topo.Devices() {
+		if err := d.CMC().Load(op); err != nil {
+			return fmt.Errorf("sim: loading %q into cube %d: %w", op.Str(), d.ID, err)
+		}
+	}
+	return nil
+}
+
+// Device returns one device by CUB.
+func (s *Simulator) Device(cub int) (*device.Device, error) {
+	return s.topo.Device(cub)
+}
+
+// Devices returns all simulated devices.
+func (s *Simulator) Devices() []*device.Device { return s.topo.Devices() }
+
+// JTAG opens a JTAG port on one device.
+func (s *Simulator) JTAG(cub int) (*jtag.Port, error) {
+	d, err := s.topo.Device(cub)
+	if err != nil {
+		return nil, err
+	}
+	return jtag.NewPort(d)
+}
+
+// Power returns the power model, or nil when the extension is disabled.
+func (s *Simulator) Power() *power.Model { return s.pm }
+
+// Links returns the number of host links.
+func (s *Simulator) Links() int { return s.cfg.Links }
+
+// --- Request builders (the hmcsim_util build_memrequest equivalents) ---
+
+// readCmdFor maps a byte count onto the architected read command.
+func readCmdFor(n int) (hmccmd.Rqst, error) {
+	switch n {
+	case 16:
+		return hmccmd.RD16, nil
+	case 32:
+		return hmccmd.RD32, nil
+	case 48:
+		return hmccmd.RD48, nil
+	case 64:
+		return hmccmd.RD64, nil
+	case 80:
+		return hmccmd.RD80, nil
+	case 96:
+		return hmccmd.RD96, nil
+	case 112:
+		return hmccmd.RD112, nil
+	case 128:
+		return hmccmd.RD128, nil
+	case 256:
+		return hmccmd.RD256, nil
+	default:
+		return 0, fmt.Errorf("%w: read of %d bytes", ErrBadSize, n)
+	}
+}
+
+// writeCmdFor maps a byte count onto the architected write command.
+func writeCmdFor(n int, posted bool) (hmccmd.Rqst, error) {
+	plain := map[int]hmccmd.Rqst{
+		16: hmccmd.WR16, 32: hmccmd.WR32, 48: hmccmd.WR48, 64: hmccmd.WR64,
+		80: hmccmd.WR80, 96: hmccmd.WR96, 112: hmccmd.WR112, 128: hmccmd.WR128,
+		256: hmccmd.WR256,
+	}
+	post := map[int]hmccmd.Rqst{
+		16: hmccmd.PWR16, 32: hmccmd.PWR32, 48: hmccmd.PWR48, 64: hmccmd.PWR64,
+		80: hmccmd.PWR80, 96: hmccmd.PWR96, 112: hmccmd.PWR112, 128: hmccmd.PWR128,
+		256: hmccmd.PWR256,
+	}
+	m := plain
+	if posted {
+		m = post
+	}
+	cmd, ok := m[n]
+	if !ok {
+		return 0, fmt.Errorf("%w: write of %d bytes", ErrBadSize, n)
+	}
+	return cmd, nil
+}
+
+// BuildRead builds an n-byte read request.
+func BuildRead(cub int, adrs uint64, tag uint16, link, n int) (*packet.Rqst, error) {
+	cmd, err := readCmdFor(n)
+	if err != nil {
+		return nil, err
+	}
+	return &packet.Rqst{Cmd: cmd, CUB: uint8(cub), ADRS: adrs, TAG: tag, SLID: uint8(link)}, nil
+}
+
+// BuildWrite builds a write request carrying data (whose length selects
+// the command); posted selects the no-response form.
+func BuildWrite(cub int, adrs uint64, tag uint16, link int, data []uint64, posted bool) (*packet.Rqst, error) {
+	cmd, err := writeCmdFor(len(data)*8, posted)
+	if err != nil {
+		return nil, err
+	}
+	return &packet.Rqst{
+		Cmd: cmd, CUB: uint8(cub), ADRS: adrs, TAG: tag, SLID: uint8(link),
+		Payload: append([]uint64(nil), data...),
+	}, nil
+}
+
+// BuildAtomic builds an atomic memory operation request; payload carries
+// the operands required by the command (nil for INC8/P_INC8).
+func BuildAtomic(cmd hmccmd.Rqst, cub int, adrs uint64, tag uint16, link int, payload []uint64) (*packet.Rqst, error) {
+	info := cmd.Info()
+	if info.Class != hmccmd.ClassAtomic && info.Class != hmccmd.ClassPostedAtomic {
+		return nil, fmt.Errorf("sim: %s is not an atomic command", info.Name)
+	}
+	if want := 2 * (int(info.RqstFlits) - 1); len(payload) != want {
+		return nil, fmt.Errorf("sim: %s payload %d words, want %d", info.Name, len(payload), want)
+	}
+	return &packet.Rqst{
+		Cmd: cmd, CUB: uint8(cub), ADRS: adrs, TAG: tag, SLID: uint8(link),
+		Payload: append([]uint64(nil), payload...),
+	}, nil
+}
+
+// BuildCMC builds a request for a CMC command slot. The request length is
+// 1 FLIT plus one FLIT per two payload words, matching the bound
+// operation's registered rqst_len.
+func BuildCMC(cmd hmccmd.Rqst, cub int, adrs uint64, tag uint16, link int, payload []uint64) (*packet.Rqst, error) {
+	if !cmd.IsCMC() {
+		return nil, fmt.Errorf("sim: %v is not a CMC slot", cmd)
+	}
+	if len(payload)%2 != 0 {
+		return nil, fmt.Errorf("sim: CMC payload must be whole FLITs, got %d words", len(payload))
+	}
+	return &packet.Rqst{
+		Cmd: cmd, CUB: uint8(cub), ADRS: adrs, TAG: tag, SLID: uint8(link),
+		LNG:     uint8(1 + len(payload)/2),
+		Payload: append([]uint64(nil), payload...),
+	}, nil
+}

@@ -1,0 +1,151 @@
+// Package stats provides the aggregation primitives the evaluation
+// harness reports with: min/max/average summaries (the paper's MIN_CYCLE,
+// MAX_CYCLE and AVG_CYCLE metrics, §V-B), power-of-two latency
+// histograms, and link-bandwidth arithmetic.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+)
+
+// Summary accumulates min/max/mean over a stream of samples.
+type Summary struct {
+	min, max uint64
+	sum      float64
+	n        uint64
+}
+
+// Add records one sample.
+func (s *Summary) Add(v uint64) {
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	s.sum += float64(v)
+	s.n++
+}
+
+// Merge folds another summary into this one.
+func (s *Summary) Merge(o Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 || o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.sum += o.sum
+	s.n += o.n
+}
+
+// N returns the sample count.
+func (s *Summary) N() uint64 { return s.n }
+
+// Min returns the smallest sample, or 0 with no samples.
+func (s *Summary) Min() uint64 { return s.min }
+
+// Max returns the largest sample, or 0 with no samples.
+func (s *Summary) Max() uint64 { return s.max }
+
+// Avg returns the mean sample, or NaN with no samples.
+func (s *Summary) Avg() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.sum / float64(s.n)
+}
+
+// String renders the summary in the paper's table style.
+func (s *Summary) String() string {
+	return fmt.Sprintf("min=%d max=%d avg=%.2f n=%d", s.min, s.max, s.Avg(), s.n)
+}
+
+// Histogram counts samples into power-of-two buckets: bucket i holds
+// samples v with 2^(i-1) < v <= 2^i (bucket 0 holds v <= 1).
+type Histogram struct {
+	buckets [65]uint64
+	n       uint64
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v uint64) {
+	h.buckets[bucketOf(v)]++
+	h.n++
+}
+
+func bucketOf(v uint64) int {
+	if v <= 1 {
+		return 0
+	}
+	return bits.Len64(v - 1)
+}
+
+// N returns the sample count.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) uint64 {
+	if i < 0 || i >= len(h.buckets) {
+		return 0
+	}
+	return h.buckets[i]
+}
+
+// Percentile returns the upper bound of the bucket containing the p-th
+// percentile (0 < p <= 100) of the samples, or 0 with no samples.
+func (h *Histogram) Percentile(p float64) uint64 {
+	if h.n == 0 || p <= 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(p / 100 * float64(h.n)))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= target {
+			if i == 0 {
+				return 1
+			}
+			return 1 << i
+		}
+	}
+	return 1 << 63
+}
+
+// String renders the non-empty buckets.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d", h.n)
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		lo := uint64(0)
+		if i > 0 {
+			lo = 1<<(i-1) + 1
+		}
+		fmt.Fprintf(&b, " [%d..%d]=%d", lo, uint64(1)<<i, c)
+	}
+	return b.String()
+}
+
+// LinkBandwidthGBs converts a FLIT count moved over a cycle count into
+// effective bandwidth in GB/s at the given device clock in GHz. One FLIT
+// is 16 bytes.
+func LinkBandwidthGBs(flits, cycles uint64, clockGHz float64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	bytes := float64(flits) * 16
+	seconds := float64(cycles) / (clockGHz * 1e9)
+	return bytes / seconds / 1e9
+}

@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if !math.IsNaN(s.Avg()) {
+		t.Error("empty Avg() not NaN")
+	}
+	for _, v := range []uint64{6, 392, 226, 6} {
+		s.Add(v)
+	}
+	if s.Min() != 6 || s.Max() != 392 || s.N() != 4 {
+		t.Errorf("summary %v", s.String())
+	}
+	if got := s.Avg(); got != (6+392+226+6)/4.0 {
+		t.Errorf("Avg() = %v", got)
+	}
+}
+
+func TestSummaryMerge(t *testing.T) {
+	var a, b, c Summary
+	for _, v := range []uint64{10, 20} {
+		a.Add(v)
+	}
+	for _, v := range []uint64{1, 30} {
+		b.Add(v)
+	}
+	a.Merge(b)
+	a.Merge(c) // empty merge is a no-op
+	if a.Min() != 1 || a.Max() != 30 || a.N() != 4 {
+		t.Errorf("merged %v", a.String())
+	}
+	if a.Avg() != (10+20+1+30)/4.0 {
+		t.Errorf("merged Avg() = %v", a.Avg())
+	}
+	// Merging into empty adopts the other's extrema.
+	var d Summary
+	d.Merge(a)
+	if d.Min() != 1 || d.Max() != 30 {
+		t.Errorf("empty-merge %v", d.String())
+	}
+}
+
+func TestSummaryQuick(t *testing.T) {
+	f := func(vals []uint64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var s Summary
+		wantMin, wantMax := vals[0], vals[0]
+		var sum float64
+		for _, v := range vals {
+			s.Add(v)
+			if v < wantMin {
+				wantMin = v
+			}
+			if v > wantMax {
+				wantMax = v
+			}
+			sum += float64(v)
+		}
+		return s.Min() == wantMin && s.Max() == wantMax &&
+			s.N() == uint64(len(vals)) && s.Avg() == sum/float64(len(vals))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 2, 3, 4, 5, 8, 9, 1000} {
+		h.Add(v)
+	}
+	if h.N() != 9 {
+		t.Errorf("N = %d", h.N())
+	}
+	if h.Bucket(0) != 2 { // 0 and 1
+		t.Errorf("bucket 0 = %d", h.Bucket(0))
+	}
+	if h.Bucket(1) != 1 { // 2
+		t.Errorf("bucket 1 = %d", h.Bucket(1))
+	}
+	if h.Bucket(2) != 2 { // 3, 4
+		t.Errorf("bucket 2 = %d", h.Bucket(2))
+	}
+	if h.Bucket(3) != 2 { // 5, 8
+		t.Errorf("bucket 3 = %d", h.Bucket(3))
+	}
+	if h.Bucket(4) != 1 { // 9
+		t.Errorf("bucket 4 = %d", h.Bucket(4))
+	}
+	if h.Bucket(10) != 1 { // 1000 in (512,1024]
+		t.Errorf("bucket 10 = %d", h.Bucket(10))
+	}
+	if h.Bucket(-1) != 0 || h.Bucket(99) != 0 {
+		t.Error("out-of-range buckets not zero")
+	}
+	if !strings.Contains(h.String(), "n=9") {
+		t.Errorf("String() = %q", h.String())
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	var h Histogram
+	for i := uint64(1); i <= 100; i++ {
+		h.Add(i)
+	}
+	if p := h.Percentile(50); p != 64 {
+		t.Errorf("p50 = %d, want 64 (bucket bound)", p)
+	}
+	if p := h.Percentile(100); p != 128 {
+		t.Errorf("p100 = %d, want 128", p)
+	}
+	var empty Histogram
+	if empty.Percentile(50) != 0 {
+		t.Error("empty percentile not 0")
+	}
+}
+
+func TestLinkBandwidth(t *testing.T) {
+	// 1 FLIT (16 B) per cycle at 1 GHz = 16 GB/s.
+	if got := LinkBandwidthGBs(1000, 1000, 1.0); math.Abs(got-16.0) > 1e-9 {
+		t.Errorf("bandwidth = %v", got)
+	}
+	if LinkBandwidthGBs(10, 0, 1.0) != 0 {
+		t.Error("zero cycles bandwidth not 0")
+	}
+}

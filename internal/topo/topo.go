@@ -1,0 +1,237 @@
+// Package topo implements multi-device HMC topologies — the 1.0
+// simulator's ability to "chain multiple HMC devices together in a
+// multitude of different topologies" (paper §II), carried forward.
+//
+// The host attaches to device 0; requests whose CUB field addresses
+// another cube are routed across the topology. Routing uses the HMC
+// packet-forwarding model at transaction granularity: each inter-cube hop
+// adds one cycle of latency in each direction, and the packet then enters
+// the target device's normal link queue structure. (The original
+// simulator forwards packets through cube link queues; the hop-delay
+// model preserves the latency and ordering behaviour without duplicating
+// the device pipeline per hop.)
+package topo
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/device"
+	"repro/internal/packet"
+	"repro/internal/trace"
+)
+
+// Kind selects the inter-cube wiring.
+type Kind int
+
+// Supported topologies.
+const (
+	// KindSingle is one device, no routing.
+	KindSingle Kind = iota
+	// KindChain wires devices in a linear chain: hops(i,j) = |i-j|.
+	KindChain
+	// KindStar wires every device one hop from device 0.
+	KindStar
+	// KindRing wires devices in a ring: hops(i,j) = min ring distance.
+	KindRing
+)
+
+var kindNames = map[Kind]string{
+	KindSingle: "single", KindChain: "chain", KindStar: "star", KindRing: "ring",
+}
+
+// String returns the topology name.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ParseKind parses a topology name.
+func ParseKind(s string) (Kind, error) {
+	for k, n := range kindNames {
+		if n == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("topo: unknown topology %q", s)
+}
+
+// Errors returned by the topology layer.
+var (
+	// ErrBadCUB reports a request addressing a cube outside the topology.
+	ErrBadCUB = errors.New("topo: CUB addresses no device")
+	// ErrBadCount reports an unsupported device count.
+	ErrBadCount = errors.New("topo: device count out of range")
+)
+
+type delayedRqst struct {
+	deliverAt uint64
+	link      int
+	rqst      *packet.Rqst
+}
+
+type delayedRsp struct {
+	deliverAt uint64
+	rsp       *packet.Rsp
+}
+
+// Topology is a set of devices with host attachment at device 0.
+type Topology struct {
+	kind  Kind
+	devs  []*device.Device
+	cycle uint64
+
+	pendingRqst []delayedRqst
+	pendingRsp  [][]delayedRsp // per host link
+	// ForwardedRqsts and ForwardedRsps count packets that crossed at
+	// least one inter-cube hop.
+	ForwardedRqsts, ForwardedRsps uint64
+}
+
+// New builds n identically configured devices wired as kind. A nil tracer
+// disables tracing.
+func New(kind Kind, n int, cfg config.Config, tracer trace.Tracer) (*Topology, error) {
+	if n < 1 || n > config.MaxDevs {
+		return nil, fmt.Errorf("%w: %d", ErrBadCount, n)
+	}
+	if kind == KindSingle && n != 1 {
+		return nil, fmt.Errorf("%w: single topology with %d devices", ErrBadCount, n)
+	}
+	t := &Topology{kind: kind}
+	for i := 0; i < n; i++ {
+		d, err := device.New(i, cfg, tracer)
+		if err != nil {
+			return nil, err
+		}
+		t.devs = append(t.devs, d)
+	}
+	t.pendingRsp = make([][]delayedRsp, cfg.Links)
+	return t, nil
+}
+
+// Devices returns the topology's devices; device 0 is host-attached.
+func (t *Topology) Devices() []*device.Device { return t.devs }
+
+// Device returns one device by CUB.
+func (t *Topology) Device(cub int) (*device.Device, error) {
+	if cub < 0 || cub >= len(t.devs) {
+		return nil, fmt.Errorf("%w: %d", ErrBadCUB, cub)
+	}
+	return t.devs[cub], nil
+}
+
+// Hops returns the inter-cube hop count between two devices.
+func (t *Topology) Hops(a, b int) int {
+	if a == b {
+		return 0
+	}
+	switch t.kind {
+	case KindChain:
+		if a > b {
+			a, b = b, a
+		}
+		return b - a
+	case KindStar:
+		if a == 0 || b == 0 {
+			return 1
+		}
+		return 2
+	case KindRing:
+		n := len(t.devs)
+		d := (b - a + n) % n
+		if n-d < d {
+			d = n - d
+		}
+		return d
+	default:
+		return 0
+	}
+}
+
+// Send submits a request on a host link of device 0. Requests addressing
+// remote cubes are forwarded with one cycle of delay per hop.
+func (t *Topology) Send(link int, r *packet.Rqst) error {
+	target := int(r.CUB)
+	if target >= len(t.devs) {
+		return fmt.Errorf("%w: CUB %d with %d devices", ErrBadCUB, target, len(t.devs))
+	}
+	if target == 0 {
+		return t.devs[0].Send(link, r)
+	}
+	hops := t.Hops(0, target)
+	t.pendingRqst = append(t.pendingRqst, delayedRqst{
+		deliverAt: t.cycle + uint64(hops),
+		link:      link,
+		rqst:      r,
+	})
+	t.ForwardedRqsts++
+	return nil
+}
+
+// Recv pops the next response available on a host link: local responses
+// from device 0 first, then forwarded responses whose hop delay has
+// elapsed.
+func (t *Topology) Recv(link int) (*packet.Rsp, bool) {
+	if rsp, ok := t.devs[0].Recv(link); ok {
+		return rsp, true
+	}
+	if link < 0 || link >= len(t.pendingRsp) {
+		return nil, false
+	}
+	q := t.pendingRsp[link]
+	if len(q) > 0 && q[0].deliverAt <= t.cycle {
+		rsp := q[0].rsp
+		t.pendingRsp[link] = q[1:]
+		return rsp, true
+	}
+	return nil, false
+}
+
+// Clock advances every device one cycle and moves forwarded packets
+// across the inter-cube hops.
+func (t *Topology) Clock() {
+	// Deliver forwarded requests whose hop delay has elapsed — before the
+	// cycle advances, so each hop costs one full device cycle. A stalled
+	// target link keeps the packet in transit (retried next cycle).
+	remaining := t.pendingRqst[:0]
+	for _, p := range t.pendingRqst {
+		if p.deliverAt <= t.cycle {
+			if err := t.devs[p.rqst.CUB].Send(p.link, p.rqst); err == nil {
+				continue
+			}
+		}
+		remaining = append(remaining, p)
+	}
+	t.pendingRqst = remaining
+
+	t.cycle++
+
+	for _, d := range t.devs {
+		d.Clock()
+	}
+
+	// Collect responses surfacing on remote devices and start them on
+	// their return trip.
+	for cub := 1; cub < len(t.devs); cub++ {
+		hops := uint64(t.Hops(0, cub))
+		for link := range t.pendingRsp {
+			for {
+				rsp, ok := t.devs[cub].Recv(link)
+				if !ok {
+					break
+				}
+				t.pendingRsp[link] = append(t.pendingRsp[link], delayedRsp{
+					deliverAt: t.cycle + hops,
+					rsp:       rsp,
+				})
+				t.ForwardedRsps++
+			}
+		}
+	}
+}
+
+// Cycle returns the topology clock.
+func (t *Topology) Cycle() uint64 { return t.cycle }

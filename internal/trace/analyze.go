@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Analysis summarizes a trace event stream: what cmd/hmc-trace reports
+// and what tests assert against.
+type Analysis struct {
+	// Events is the total record count; FirstCycle and LastCycle bound
+	// the observed window.
+	Events                int
+	FirstCycle, LastCycle uint64
+	// ByKind counts records per category name; ByCmd per command
+	// mnemonic (CMC ops under their registered names).
+	ByKind map[string]int
+	ByCmd  map[string]int
+	// CMCByName counts CMC executions per registered operation name.
+	CMCByName map[string]int
+	// ByVault counts executed requests per vault.
+	ByVault map[int]int
+	// Latency aggregates round-trip latency records; LatencyHist buckets
+	// them.
+	Latency     stats.Summary
+	LatencyHist stats.Histogram
+	// Stalls counts stall records.
+	Stalls int
+}
+
+// Analyze folds an event stream into an Analysis.
+func Analyze(events []Event) Analysis {
+	a := Analysis{
+		ByKind:    map[string]int{},
+		ByCmd:     map[string]int{},
+		CMCByName: map[string]int{},
+		ByVault:   map[int]int{},
+	}
+	for i, e := range events {
+		if i == 0 || e.Cycle < a.FirstCycle {
+			a.FirstCycle = e.Cycle
+		}
+		if e.Cycle > a.LastCycle {
+			a.LastCycle = e.Cycle
+		}
+		a.Events++
+		name := e.KindName
+		if name == "" {
+			name = kindName(e.Kind)
+		}
+		a.ByKind[name]++
+		if e.Cmd != "" {
+			a.ByCmd[e.Cmd]++
+		}
+		switch e.Kind {
+		case LevelLatency:
+			a.Latency.Add(e.Value)
+			a.LatencyHist.Add(e.Value)
+		case LevelRqst:
+			if e.Vault >= 0 {
+				a.ByVault[e.Vault]++
+			}
+		case LevelCMC:
+			a.CMCByName[e.Cmd]++
+		case LevelStall:
+			a.Stalls++
+		}
+	}
+	return a
+}
+
+// Counted is a (key, count) pair of a sorted breakdown.
+type Counted struct {
+	Key   string
+	Count int
+}
+
+// SortedCounts returns a map's entries ordered by descending count, then
+// key.
+func SortedCounts(m map[string]int) []Counted {
+	out := make([]Counted, 0, len(m))
+	for k, v := range m {
+		out = append(out, Counted{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// HottestVaults returns up to n vaults by descending request count.
+func (a Analysis) HottestVaults(n int) []Counted {
+	out := make([]Counted, 0, len(a.ByVault))
+	for v, c := range a.ByVault {
+		out = append(out, Counted{fmt.Sprintf("vault %d", v), c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Report renders the analysis as the hmc-trace text report, listing at
+// most top entries per breakdown.
+func (a Analysis) Report(top int) string {
+	var b strings.Builder
+	if a.Events == 0 {
+		return "empty trace\n"
+	}
+	fmt.Fprintf(&b, "trace: %d events over cycles %d..%d\n\n", a.Events, a.FirstCycle, a.LastCycle)
+
+	fmt.Fprintln(&b, "events by category:")
+	for _, kv := range SortedCounts(a.ByKind) {
+		fmt.Fprintf(&b, "  %-10s %d\n", kv.Key, kv.Count)
+	}
+
+	fmt.Fprintln(&b, "\ntop commands:")
+	for i, kv := range SortedCounts(a.ByCmd) {
+		if i >= top {
+			break
+		}
+		fmt.Fprintf(&b, "  %-14s %d\n", kv.Key, kv.Count)
+	}
+
+	if len(a.CMCByName) > 0 {
+		fmt.Fprintln(&b, "\nCMC operations (by registered name):")
+		for _, kv := range SortedCounts(a.CMCByName) {
+			fmt.Fprintf(&b, "  %-14s %d\n", kv.Key, kv.Count)
+		}
+	}
+
+	if a.Latency.N() > 0 {
+		fmt.Fprintf(&b, "\nround-trip latency: %v\n", a.Latency.String())
+		fmt.Fprintf(&b, "latency histogram: %v\n", a.LatencyHist.String())
+		fmt.Fprintf(&b, "p50 <= %d cycles, p99 <= %d cycles\n",
+			a.LatencyHist.Percentile(50), a.LatencyHist.Percentile(99))
+	}
+
+	if len(a.ByVault) > 0 {
+		fmt.Fprintln(&b, "\nhottest vaults:")
+		for _, kv := range a.HottestVaults(top) {
+			fmt.Fprintf(&b, "  %-10s %d requests\n", kv.Key, kv.Count)
+		}
+	}
+	return b.String()
+}

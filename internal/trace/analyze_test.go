@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{Cycle: 2, Kind: LevelRqst, Vault: 3, Cmd: "RD16", Tag: 1},
+		{Cycle: 2, Kind: LevelRqst, Vault: 3, Cmd: "WR64", Tag: 2},
+		{Cycle: 3, Kind: LevelRqst, Vault: 7, Cmd: "RD16", Tag: 3},
+		{Cycle: 4, Kind: LevelCMC, Vault: 3, Cmd: "hmc_lock", Tag: 4},
+		{Cycle: 5, Kind: LevelLatency, Vault: -1, Cmd: "RD16", Value: 3},
+		{Cycle: 6, Kind: LevelLatency, Vault: -1, Cmd: "RD16", Value: 5},
+		{Cycle: 7, Kind: LevelStall, Vault: -1, Cmd: "WR64"},
+	}
+}
+
+func TestAnalyzeBasics(t *testing.T) {
+	a := Analyze(sampleEvents())
+	if a.Events != 7 || a.FirstCycle != 2 || a.LastCycle != 7 {
+		t.Errorf("bounds: %+v", a)
+	}
+	if a.ByKind["RQST"] != 3 || a.ByKind["CMC"] != 1 || a.ByKind["LATENCY"] != 2 {
+		t.Errorf("ByKind: %v", a.ByKind)
+	}
+	if a.ByCmd["RD16"] != 4 || a.ByCmd["WR64"] != 2 || a.ByCmd["hmc_lock"] != 1 {
+		t.Errorf("ByCmd: %v", a.ByCmd)
+	}
+	if a.CMCByName["hmc_lock"] != 1 {
+		t.Errorf("CMCByName: %v", a.CMCByName)
+	}
+	if a.ByVault[3] != 2 || a.ByVault[7] != 1 {
+		t.Errorf("ByVault: %v", a.ByVault)
+	}
+	if a.Latency.N() != 2 || a.Latency.Min() != 3 || a.Latency.Max() != 5 {
+		t.Errorf("Latency: %v", a.Latency.String())
+	}
+	if a.Stalls != 1 {
+		t.Errorf("Stalls = %d", a.Stalls)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	a := Analyze(nil)
+	if a.Events != 0 {
+		t.Errorf("events = %d", a.Events)
+	}
+	if got := a.Report(5); got != "empty trace\n" {
+		t.Errorf("Report = %q", got)
+	}
+}
+
+func TestSortedCounts(t *testing.T) {
+	got := SortedCounts(map[string]int{"b": 2, "a": 2, "c": 9})
+	if got[0].Key != "c" || got[1].Key != "a" || got[2].Key != "b" {
+		t.Errorf("order: %v", got)
+	}
+}
+
+func TestHottestVaults(t *testing.T) {
+	a := Analyze(sampleEvents())
+	hot := a.HottestVaults(1)
+	if len(hot) != 1 || hot[0].Key != "vault 3" || hot[0].Count != 2 {
+		t.Errorf("hottest: %v", hot)
+	}
+}
+
+func TestReportContents(t *testing.T) {
+	rep := Analyze(sampleEvents()).Report(10)
+	for _, want := range []string{
+		"7 events over cycles 2..7",
+		"hmc_lock",
+		"round-trip latency: min=3 max=5",
+		"vault 3",
+		"p50 <=",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestAnalyzeFillsKindNameWhenMissing(t *testing.T) {
+	// Events straight from a Recorder carry KindName; raw events do not.
+	a := Analyze([]Event{{Kind: LevelBank}})
+	if a.ByKind["BANK"] != 1 {
+		t.Errorf("ByKind: %v", a.ByKind)
+	}
+}

@@ -1,0 +1,301 @@
+// Package trace implements the simulator's discrete tracing subsystem.
+//
+// HMC-Sim 1.0 shipped "powerful tracing capability that permitted users to
+// see exactly how and where memory operations progressed through the
+// device" (paper §IV-A); the 2.0 CMC requirement extends it so that
+// user-defined CMC operations appear in trace files under their registered
+// human-readable names, "resolved in the trace file just as any normal HMC
+// command".
+//
+// Tracing is organized as a bitmask of event levels and pluggable sinks: a
+// human-readable text writer, a machine-readable JSONL writer, an
+// in-memory recorder for tests, and a no-op sink for hot simulations.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Level is a bitmask of trace event categories, mirroring the original
+// simulator's trace-level macros.
+type Level uint32
+
+// Trace levels.
+const (
+	// LevelBank traces bank conflicts and bank busy stalls.
+	LevelBank Level = 1 << iota
+	// LevelQueue traces queue-depth high-water events.
+	LevelQueue
+	// LevelLatency traces per-packet end-to-end latency at response
+	// delivery.
+	LevelLatency
+	// LevelStall traces send-side and internal pipeline stalls.
+	LevelStall
+	// LevelRqst traces request packet processing.
+	LevelRqst
+	// LevelRsp traces response packet construction.
+	LevelRsp
+	// LevelCMC traces custom memory cube operation execution.
+	LevelCMC
+	// LevelPower traces per-operation energy estimates (extension).
+	LevelPower
+
+	// LevelAll enables every category.
+	LevelAll Level = 1<<iota - 1
+)
+
+var levelNames = []struct {
+	l    Level
+	name string
+}{
+	{LevelBank, "BANK"},
+	{LevelQueue, "QUEUE"},
+	{LevelLatency, "LATENCY"},
+	{LevelStall, "STALL"},
+	{LevelRqst, "RQST"},
+	{LevelRsp, "RSP"},
+	{LevelCMC, "CMC"},
+	{LevelPower, "POWER"},
+}
+
+// String renders the level set as a "+"-joined list of category names.
+func (l Level) String() string {
+	if l == 0 {
+		return "NONE"
+	}
+	var parts []string
+	for _, ln := range levelNames {
+		if l&ln.l != 0 {
+			parts = append(parts, ln.name)
+		}
+	}
+	if len(parts) == 0 {
+		return fmt.Sprintf("Level(%#x)", uint32(l))
+	}
+	return strings.Join(parts, "+")
+}
+
+// ParseLevel parses a "+"-joined list of category names (case
+// insensitive); "all" and "none" are accepted.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "all":
+		return LevelAll, nil
+	case "none", "":
+		return 0, nil
+	}
+	var l Level
+	for _, part := range strings.Split(s, "+") {
+		found := false
+		for _, ln := range levelNames {
+			if strings.EqualFold(strings.TrimSpace(part), ln.name) {
+				l |= ln.l
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("trace: unknown level %q", part)
+		}
+	}
+	return l, nil
+}
+
+// Event is one trace record.
+type Event struct {
+	// Cycle is the device clock cycle the event occurred on.
+	Cycle uint64 `json:"cycle"`
+	// Kind is the (single) level bit categorizing the event.
+	Kind Level `json:"kind"`
+	// KindName is the textual category, filled in by the sinks.
+	KindName string `json:"kind_name,omitempty"`
+	// Dev, Quad, Vault and Bank locate the event; -1 marks
+	// not-applicable coordinates.
+	Dev   int `json:"dev"`
+	Quad  int `json:"quad"`
+	Vault int `json:"vault"`
+	Bank  int `json:"bank"`
+	// Cmd is the command mnemonic — for CMC operations, the op's
+	// registered human-readable name.
+	Cmd string `json:"cmd,omitempty"`
+	// Tag is the request tag, if any.
+	Tag uint16 `json:"tag"`
+	// Addr is the target address, if any.
+	Addr uint64 `json:"addr"`
+	// Value carries an event-specific quantity (latency cycles, queue
+	// depth, energy picojoules).
+	Value uint64 `json:"value,omitempty"`
+	// Detail is a freeform annotation.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Tracer is a sink for trace events. Implementations must tolerate
+// concurrent Emit calls.
+type Tracer interface {
+	// Enabled reports whether the level is being collected; callers use
+	// it to skip event construction on hot paths.
+	Enabled(Level) bool
+	// Emit records one event.
+	Emit(Event)
+}
+
+// Nop is a Tracer that collects nothing.
+type Nop struct{}
+
+// Enabled always reports false.
+func (Nop) Enabled(Level) bool { return false }
+
+// Emit discards the event.
+func (Nop) Emit(Event) {}
+
+func kindName(l Level) string {
+	for _, ln := range levelNames {
+		if l == ln.l {
+			return ln.name
+		}
+	}
+	return l.String()
+}
+
+// TextTracer writes human-readable single-line records.
+type TextTracer struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	levels Level
+}
+
+// NewText returns a text tracer collecting the given levels.
+func NewText(w io.Writer, levels Level) *TextTracer {
+	return &TextTracer{w: bufio.NewWriter(w), levels: levels}
+}
+
+// Enabled implements Tracer.
+func (t *TextTracer) Enabled(l Level) bool { return t.levels&l != 0 }
+
+// Emit implements Tracer.
+func (t *TextTracer) Emit(e Event) {
+	if !t.Enabled(e.Kind) {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fmt.Fprintf(t.w, "HMCSIM_TRACE : %d : %s : dev=%d quad=%d vault=%d bank=%d cmd=%s tag=%d addr=0x%x value=%d",
+		e.Cycle, kindName(e.Kind), e.Dev, e.Quad, e.Vault, e.Bank, e.Cmd, e.Tag, e.Addr, e.Value)
+	if e.Detail != "" {
+		fmt.Fprintf(t.w, " : %s", e.Detail)
+	}
+	fmt.Fprintln(t.w)
+}
+
+// Flush drains buffered output to the underlying writer.
+func (t *TextTracer) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.w.Flush()
+}
+
+// JSONLTracer writes one JSON object per line, parseable by ParseJSONL.
+type JSONLTracer struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	enc    *json.Encoder
+	levels Level
+}
+
+// NewJSONL returns a JSONL tracer collecting the given levels.
+func NewJSONL(w io.Writer, levels Level) *JSONLTracer {
+	bw := bufio.NewWriter(w)
+	return &JSONLTracer{w: bw, enc: json.NewEncoder(bw), levels: levels}
+}
+
+// Enabled implements Tracer.
+func (t *JSONLTracer) Enabled(l Level) bool { return t.levels&l != 0 }
+
+// Emit implements Tracer.
+func (t *JSONLTracer) Emit(e Event) {
+	if !t.Enabled(e.Kind) {
+		return
+	}
+	e.KindName = kindName(e.Kind)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_ = t.enc.Encode(e)
+}
+
+// Flush drains buffered output to the underlying writer.
+func (t *JSONLTracer) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.w.Flush()
+}
+
+// Recorder is an in-memory Tracer for tests and analysis.
+type Recorder struct {
+	mu     sync.Mutex
+	levels Level
+	events []Event
+}
+
+// NewRecorder returns a recorder collecting the given levels.
+func NewRecorder(levels Level) *Recorder { return &Recorder{levels: levels} }
+
+// Enabled implements Tracer.
+func (r *Recorder) Enabled(l Level) bool { return r.levels&l != 0 }
+
+// Emit implements Tracer.
+func (r *Recorder) Emit(e Event) {
+	if !r.Enabled(e.Kind) {
+		return
+	}
+	e.KindName = kindName(e.Kind)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, e)
+}
+
+// Events returns a copy of the recorded events.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// OfKind returns the recorded events matching the level mask.
+func (r *Recorder) OfKind(mask Level) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Event
+	for _, e := range r.events {
+		if e.Kind&mask != 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Reset clears the recorded events.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = nil
+}
+
+// ParseJSONL reads back a JSONL trace stream.
+func ParseJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	dec := json.NewDecoder(r)
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("trace: parsing JSONL record %d: %w", len(out), err)
+		}
+		out = append(out, e)
+	}
+}

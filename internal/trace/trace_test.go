@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLevelString(t *testing.T) {
+	if got := (LevelBank | LevelCMC).String(); got != "BANK+CMC" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := Level(0).String(); got != "NONE" {
+		t.Errorf("zero level String() = %q", got)
+	}
+	if !strings.Contains(LevelAll.String(), "LATENCY") {
+		t.Errorf("LevelAll missing LATENCY: %q", LevelAll.String())
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	l, err := ParseLevel("bank+cmc")
+	if err != nil || l != LevelBank|LevelCMC {
+		t.Errorf("ParseLevel(bank+cmc) = %v, %v", l, err)
+	}
+	l, err = ParseLevel("ALL")
+	if err != nil || l != LevelAll {
+		t.Errorf("ParseLevel(ALL) = %v, %v", l, err)
+	}
+	l, err = ParseLevel("none")
+	if err != nil || l != 0 {
+		t.Errorf("ParseLevel(none) = %v, %v", l, err)
+	}
+	if _, err := ParseLevel("bogus"); err == nil {
+		t.Error("ParseLevel(bogus) succeeded")
+	}
+}
+
+func TestTextTracer(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewText(&buf, LevelCMC|LevelLatency)
+	tr.Emit(Event{Cycle: 9, Kind: LevelCMC, Dev: 0, Quad: 1, Vault: 2, Bank: 3, Cmd: "hmc_lock", Tag: 7, Addr: 0x40})
+	tr.Emit(Event{Cycle: 10, Kind: LevelBank, Cmd: "suppressed"}) // filtered level
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "hmc_lock") {
+		t.Errorf("CMC op name missing from trace: %q", out)
+	}
+	if !strings.Contains(out, "CMC") {
+		t.Errorf("kind name missing: %q", out)
+	}
+	if strings.Contains(out, "suppressed") {
+		t.Errorf("filtered event leaked: %q", out)
+	}
+	if strings.Count(out, "\n") != 1 {
+		t.Errorf("want exactly one record, got %q", out)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONL(&buf, LevelAll)
+	want := []Event{
+		{Cycle: 1, Kind: LevelRqst, Dev: 0, Quad: 2, Vault: 17, Bank: 4, Cmd: "WR64", Tag: 3, Addr: 0x1000},
+		{Cycle: 5, Kind: LevelCMC, Dev: 0, Quad: 0, Vault: 0, Bank: 0, Cmd: "hmc_trylock", Tag: 4, Addr: 0x40, Value: 2},
+		{Cycle: 6, Kind: LevelLatency, Dev: 0, Quad: 0, Vault: 0, Bank: 0, Cmd: "RD16", Tag: 5, Value: 6, Detail: "round trip"},
+	}
+	for _, e := range want {
+		tr.Emit(e)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Cycle != want[i].Cycle || got[i].Cmd != want[i].Cmd || got[i].Value != want[i].Value {
+			t.Errorf("event %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if got[1].KindName != "CMC" {
+		t.Errorf("KindName = %q", got[1].KindName)
+	}
+}
+
+func TestParseJSONLError(t *testing.T) {
+	if _, err := ParseJSONL(strings.NewReader("{bad json")); err == nil {
+		t.Error("ParseJSONL accepted malformed input")
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder(LevelStall | LevelBank)
+	r.Emit(Event{Kind: LevelStall, Cmd: "a"})
+	r.Emit(Event{Kind: LevelBank, Cmd: "b"})
+	r.Emit(Event{Kind: LevelCMC, Cmd: "c"}) // filtered
+	if got := len(r.Events()); got != 2 {
+		t.Fatalf("recorded %d events, want 2", got)
+	}
+	if got := r.OfKind(LevelBank); len(got) != 1 || got[0].Cmd != "b" {
+		t.Errorf("OfKind(Bank) = %+v", got)
+	}
+	r.Reset()
+	if len(r.Events()) != 0 {
+		t.Error("Reset did not clear events")
+	}
+}
+
+func TestNop(t *testing.T) {
+	var n Nop
+	if n.Enabled(LevelAll) {
+		t.Error("Nop.Enabled reported true")
+	}
+	n.Emit(Event{}) // must not panic
+}
+
+func TestEnabledGating(t *testing.T) {
+	tr := NewText(&bytes.Buffer{}, LevelLatency)
+	if tr.Enabled(LevelBank) {
+		t.Error("Enabled(Bank) = true for latency-only tracer")
+	}
+	if !tr.Enabled(LevelLatency) {
+		t.Error("Enabled(Latency) = false")
+	}
+}
+
+// TestTextFormatGolden pins the human-readable trace line format, which
+// downstream log scrapers depend on.
+func TestTextFormatGolden(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewText(&buf, LevelAll)
+	tr.Emit(Event{
+		Cycle: 42, Kind: LevelCMC, Dev: 1, Quad: 2, Vault: 17, Bank: 3,
+		Cmd: "hmc_lock", Tag: 9, Addr: 0x40, Value: 7, Detail: "note",
+	})
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := "HMCSIM_TRACE : 42 : CMC : dev=1 quad=2 vault=17 bank=3 cmd=hmc_lock tag=9 addr=0x40 value=7 : note\n"
+	if got := buf.String(); got != want {
+		t.Errorf("text format changed:\n got %q\nwant %q", got, want)
+	}
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+func TestBandwidthProbeCompletes(t *testing.T) {
+	r, err := RunBandwidthProbe(config.FourLink4GB(), 4, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Blocks != 256 {
+		t.Errorf("blocks = %d", r.Blocks)
+	}
+	if r.BytesPerCycle <= 0 {
+		t.Errorf("bandwidth %v", r.BytesPerCycle)
+	}
+}
+
+func TestPipelineWidthScalesBandwidth(t *testing.T) {
+	// A deeper pipeline hides latency: width 8 must beat width 1
+	// substantially for the same thread count.
+	w1, err := RunBandwidthProbe(config.FourLink4GB(), 4, 1, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w8, err := RunBandwidthProbe(config.FourLink4GB(), 4, 8, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w8.BytesPerCycle < 2*w1.BytesPerCycle {
+		t.Errorf("width 8 (%.1f B/c) not >2x width 1 (%.1f B/c)", w8.BytesPerCycle, w1.BytesPerCycle)
+	}
+}
+
+func TestBandwidthSaturates(t *testing.T) {
+	// Beyond the link serialization limit, more outstanding requests stop
+	// helping: the curve flattens.
+	var prev float64
+	grewAt32 := false
+	for _, w := range []int{1, 4, 32, 64} {
+		r, err := RunBandwidthProbe(config.FourLink4GB(), 4, w, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w == 32 && r.BytesPerCycle > prev {
+			grewAt32 = true
+		}
+		if w == 64 {
+			// Saturated: within 10% of width 32.
+			if r.BytesPerCycle > prev*1.10 {
+				t.Errorf("width 64 (%.1f) still >10%% above width 32 (%.1f): no saturation", r.BytesPerCycle, prev)
+			}
+		}
+		prev = r.BytesPerCycle
+	}
+	if !grewAt32 {
+		t.Error("bandwidth did not grow up to width 32")
+	}
+}
+
+func TestPipelinedDeterminism(t *testing.T) {
+	a, err := RunBandwidthProbe(config.FourLink4GB(), 4, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBandwidthProbe(config.FourLink4GB(), 4, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("runs differ: %+v vs %+v", a, b)
+	}
+}
+
+// badWidthAgent reports an invalid pipeline width.
+type badWidthAgent struct{ PipelinedReader }
+
+func (badWidthAgent) Width() int { return 0 }
+
+func TestRunPipelinedValidation(t *testing.T) {
+	s, err := sim.New(config.TwoGBDev())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunPipelined(s, []PipelinedAgent{&badWidthAgent{}}, 100); !errors.Is(err, ErrAgentFault) {
+		t.Errorf("zero width: %v", err)
+	}
+}
+
+// errorAgent returns a failing Complete to exercise fault propagation.
+type errorAgent struct{ PipelinedReader }
+
+func (e *errorAgent) Complete(rqst *packet.Rqst, rsp *packet.Rsp, cycle uint64) error {
+	return fmt.Errorf("injected")
+}
+
+func TestRunPipelinedAgentFault(t *testing.T) {
+	s, err := sim.New(config.TwoGBDev())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &errorAgent{PipelinedReader{Blocks: 4, W: 2}}
+	if _, err := RunPipelined(s, []PipelinedAgent{a}, 1000); !errors.Is(err, ErrAgentFault) {
+		t.Errorf("fault: %v", err)
+	}
+}
+
+func TestPipelinedManyAgentsShareTagPool(t *testing.T) {
+	// 100 agents x width 16 = 1600 potential outstanding, within the
+	// 2048-tag space; everything completes.
+	r, err := RunBandwidthProbe(config.FourLink4GB(), 100, 16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Blocks != 3200 {
+		t.Errorf("blocks = %d", r.Blocks)
+	}
+}

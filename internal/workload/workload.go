@@ -1,0 +1,156 @@
+// Package workload implements the host side of the paper's evaluation:
+// simulated threads ("units of parallelism", §V-A) that issue HMC packets
+// against a simulation context and the driver loop that clocks the device
+// while matching responses back to their issuing threads.
+//
+// The package provides the paper's CMC mutex workload (Algorithm 1) and
+// the kernels of the prior HMC-Sim results it builds on: STREAM Triad and
+// HPCC RandomAccess (paper §II), plus a CAS/CMC-offloaded graph BFS
+// modeled on the instruction-offloading study the paper cites [10].
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Errors returned by the driver.
+var (
+	// ErrTimeout reports a run exceeding its cycle budget.
+	ErrTimeout = errors.New("workload: run exceeded max cycles")
+	// ErrTooManyAgents reports more agents than available request tags.
+	ErrTooManyAgents = errors.New("workload: too many agents for the tag space")
+	// ErrAgentFault reports an agent observing an inconsistent response.
+	ErrAgentFault = errors.New("workload: agent fault")
+)
+
+// Agent is one simulated host thread. The engine keeps at most one
+// request outstanding per agent, matching a blocking memory pipeline.
+type Agent interface {
+	// Next returns the agent's next request, or nil when it has nothing
+	// to issue this cycle (finished, or waiting on local work). The
+	// engine fills in TAG and SLID before sending.
+	Next(cycle uint64) *packet.Rqst
+	// Complete delivers the response to the agent's outstanding request.
+	// Posted requests complete immediately with a nil response.
+	Complete(rsp *packet.Rsp, cycle uint64) error
+	// Done reports that the agent finished its program.
+	Done() bool
+}
+
+// Result summarizes one driven run.
+type Result struct {
+	// CompletionCycles[i] is the cycle agent i finished on (the paper's
+	// per-thread "number of cycles required to perform the algorithm").
+	CompletionCycles []uint64
+	// Cycles is the cycle the last agent finished on.
+	Cycles uint64
+	// Summary aggregates CompletionCycles into MIN/MAX/AVG_CYCLE.
+	Summary stats.Summary
+	// Rqsts and SendStalls count issued requests and send-side stalls.
+	Rqsts, SendStalls uint64
+}
+
+// Run drives the agents against the simulator until every agent is done,
+// one issue/clock/drain step per device cycle.
+func Run(s *sim.Simulator, agents []Agent, maxCycles uint64) (Result, error) {
+	if len(agents) > packet.MaxTag {
+		return Result{}, fmt.Errorf("%w: %d agents", ErrTooManyAgents, len(agents))
+	}
+	res := Result{CompletionCycles: make([]uint64, len(agents))}
+	links := s.Links()
+
+	outstanding := make([]bool, len(agents)) // a response is in flight
+	pending := make([]*packet.Rqst, len(agents))
+	done := make([]bool, len(agents))
+	remaining := 0
+	for i, a := range agents {
+		if a.Done() {
+			done[i] = true
+			continue
+		}
+		remaining++
+	}
+
+	for remaining > 0 {
+		if s.Cycle() >= maxCycles {
+			return res, fmt.Errorf("%w: %d agents unfinished after %d cycles",
+				ErrTimeout, remaining, s.Cycle())
+		}
+
+		// Issue phase: idle agents produce their next request in fixed
+		// agent order (deterministic host arbitration); stalled sends
+		// retry without consulting the agent again.
+		for i, a := range agents {
+			if done[i] || outstanding[i] {
+				continue
+			}
+			r := pending[i]
+			if r == nil {
+				r = a.Next(s.Cycle())
+				if r == nil {
+					if a.Done() && !done[i] {
+						// Agent finished without a trailing response
+						// (e.g. a posted final op).
+						done[i] = true
+						res.CompletionCycles[i] = s.Cycle()
+						remaining--
+					}
+					continue
+				}
+				r.TAG = uint16(i)
+				r.SLID = uint8(i % links)
+			}
+			if err := s.Send(int(r.SLID), r); err != nil {
+				pending[i] = r // HMC_STALL: retry next cycle
+				res.SendStalls++
+				continue
+			}
+			pending[i] = nil
+			res.Rqsts++
+			if r.Cmd.Posted() {
+				// No response will arrive; the agent continues next cycle.
+				if err := a.Complete(nil, s.Cycle()); err != nil {
+					return res, fmt.Errorf("%w: agent %d: %v", ErrAgentFault, i, err)
+				}
+			} else {
+				outstanding[i] = true
+			}
+		}
+
+		s.Clock()
+
+		// Drain phase: hand responses back to their agents.
+		for link := 0; link < links; link++ {
+			for {
+				rsp, ok := s.Recv(link)
+				if !ok {
+					break
+				}
+				i := int(rsp.TAG)
+				if i >= len(agents) || !outstanding[i] {
+					return res, fmt.Errorf("%w: response with unexpected tag %d", ErrAgentFault, rsp.TAG)
+				}
+				outstanding[i] = false
+				if err := agents[i].Complete(rsp, s.Cycle()); err != nil {
+					return res, fmt.Errorf("%w: agent %d: %v", ErrAgentFault, i, err)
+				}
+				if agents[i].Done() && !done[i] {
+					done[i] = true
+					res.CompletionCycles[i] = s.Cycle()
+					remaining--
+				}
+			}
+		}
+	}
+
+	for _, c := range res.CompletionCycles {
+		res.Summary.Add(c)
+	}
+	res.Cycles = s.Cycle()
+	return res, nil
+}

@@ -1,0 +1,128 @@
+package hmcsim
+
+import (
+	"testing"
+
+	"repro/internal/hmccmd"
+)
+
+// TestParallelClockEquivalence: parallel vault servicing must produce
+// exactly the serial results — same workload outcomes, same memory, same
+// counters — because vaults partition the address space.
+func TestParallelClockEquivalence(t *testing.T) {
+	serial, err := RunMutex(FourLink4GB(), 64, 0x40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunMutex(FourLink4GB(), 64, 0x40, WithParallelClock(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != parallel {
+		t.Errorf("serial %+v != parallel %+v", serial, parallel)
+	}
+
+	sStream, err := RunStream(FourLink4GB(), 16, 128, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pStream, err := RunStream(FourLink4GB(), 16, 128, 1.25, WithParallelClock(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sStream != pStream {
+		t.Errorf("stream serial %+v != parallel %+v", sStream, pStream)
+	}
+}
+
+// TestParallelClockStatsMatchSerial compares the device counters
+// themselves between modes.
+func TestParallelClockStatsMatchSerial(t *testing.T) {
+	run := func(opts ...Option) DeviceStats {
+		var dev *Device
+		opts = append(opts, WithObserver(func(s *Simulator) {
+			dev = s.Devices()[0]
+		}))
+		if _, err := RunGUPS(FourLink4GB(), GUPSAtomic, 16, 1024, 800, opts...); err != nil {
+			t.Fatal(err)
+		}
+		return dev.Stats()
+	}
+	serial := run()
+	parallel := run(WithParallelClock(8))
+	if serial != parallel {
+		t.Errorf("stats diverge:\nserial   %+v\nparallel %+v", serial, parallel)
+	}
+}
+
+// TestParallelClockWithPower: the power hook is serialized under the
+// parallel clock and accumulates the same totals.
+func TestParallelClockWithPower(t *testing.T) {
+	run := func(opts ...Option) float64 {
+		pm := NewPowerModel(DefaultPowerParams())
+		opts = append(opts, WithPowerModel(pm))
+		if _, err := RunStream(FourLink4GB(), 8, 64, 1.25, opts...); err != nil {
+			t.Fatal(err)
+		}
+		return pm.TotalPJ()
+	}
+	serial := run()
+	parallel := run(WithParallelClock(8))
+	if serial != parallel {
+		t.Errorf("energy diverges: serial %v, parallel %v", serial, parallel)
+	}
+}
+
+// TestParallelClockCMCSafety: CMC operations execute correctly under the
+// parallel clock (each touches only its target block).
+func TestParallelClockCMCSafety(t *testing.T) {
+	s, err := New(FourLink4GB(), WithParallelClock(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadCMC("hmc_fetchadd_compiled_check"); err == nil {
+		t.Fatal("unexpected registry op")
+	}
+	if err := s.LoadCMC("hmc_lock"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadCMC("hmc_unlock"); err != nil {
+		t.Fatal(err)
+	}
+	// 32 distinct locks across 32 vaults, contended in parallel.
+	done := 0
+	for i := 0; i < 32; i++ {
+		r, err := BuildCMC(hmccmd.CMC125, 0, uint64(i)*64, uint16(i), i%4, []uint64{uint64(i) + 1, 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Send(i%4, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for c := 0; c < 20 && done < 32; c++ {
+		s.Clock()
+		for link := 0; link < 4; link++ {
+			for {
+				rsp, ok := s.Recv(link)
+				if !ok {
+					break
+				}
+				if rsp.Payload[0] != 1 {
+					t.Fatalf("lock %d failed", rsp.TAG)
+				}
+				done++
+			}
+		}
+	}
+	if done != 32 {
+		t.Fatalf("%d locks completed", done)
+	}
+	d, _ := s.Device(0)
+	for i := 0; i < 32; i++ {
+		blk, _ := d.Store().ReadBlock(uint64(i) * 64)
+		if blk.Lo != 1 || blk.Hi != uint64(i)+1 {
+			t.Errorf("lock %d state %+v", i, blk)
+		}
+	}
+}
