@@ -1,0 +1,16 @@
+# Developer entry points. `make ci` is the gate every change must pass;
+# `make bench` records the hot-path benchmark trajectory.
+
+.PHONY: ci test bench build
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+ci:
+	./scripts/ci.sh
+
+bench:
+	./scripts/bench.sh

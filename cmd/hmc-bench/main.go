@@ -8,6 +8,7 @@
 //	hmc-bench                 # report to stdout
 //	hmc-bench -out report.md  # report to a file
 //	hmc-bench -hi 50          # restrict the mutex sweep
+//	hmc-bench -workers 1      # serial mutex sweep (default: all cores)
 package main
 
 import (
@@ -27,6 +28,7 @@ func main() {
 	out := flag.String("out", "", "write the report to this file (default stdout)")
 	lo := flag.Int("lo", 2, "mutex sweep: lowest thread count")
 	hi := flag.Int("hi", 100, "mutex sweep: highest thread count")
+	workers := flag.Int("workers", 0, "mutex sweep worker pool size (0 = one per host core, 1 = serial)")
 	flag.Parse()
 
 	w := io.Writer(os.Stdout)
@@ -38,7 +40,7 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := report(w, *lo, *hi); err != nil {
+	if err := report(w, *lo, *hi, *workers); err != nil {
 		fatal(err)
 	}
 	if *out != "" {
@@ -51,7 +53,7 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func report(w io.Writer, lo, hi int) error {
+func report(w io.Writer, lo, hi, workers int) error {
 	fmt.Fprintln(w, "# HMC-Sim 2.0 reproduction report")
 	fmt.Fprintln(w)
 
@@ -61,11 +63,11 @@ func report(w io.Writer, lo, hi int) error {
 	}
 	tableV(w)
 
-	four, err := hmcsim.MutexSweep(hmcsim.FourLink4GB(), lo, hi, lockAddr)
+	four, err := hmcsim.MutexSweepParallel(hmcsim.FourLink4GB(), lo, hi, lockAddr, workers)
 	if err != nil {
 		return err
 	}
-	eight, err := hmcsim.MutexSweep(hmcsim.EightLink8GB(), lo, hi, lockAddr)
+	eight, err := hmcsim.MutexSweepParallel(hmcsim.EightLink8GB(), lo, hi, lockAddr, workers)
 	if err != nil {
 		return err
 	}

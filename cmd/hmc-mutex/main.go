@@ -10,6 +10,8 @@
 //	hmc-mutex -table           # Table VI only
 //	hmc-mutex -lo 2 -hi 50     # restrict the thread sweep
 //	hmc-mutex -csv out.csv     # machine-readable sweep dump
+//	hmc-mutex -workers 0       # sweep across all host cores (default)
+//	hmc-mutex -workers 1       # serial sweep
 package main
 
 import (
@@ -29,6 +31,7 @@ func main() {
 	figure := flag.Int("figure", 0, "print only one figure series (5, 6 or 7)")
 	tableOnly := flag.Bool("table", false, "print only Table VI")
 	csvPath := flag.String("csv", "", "write the full sweep to a CSV file")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0 = one per host core, 1 = serial)")
 	flag.Parse()
 
 	if *lo < 2 || *hi < *lo {
@@ -36,11 +39,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	four, err := hmcsim.MutexSweep(hmcsim.FourLink4GB(), *lo, *hi, *addr)
+	four, err := hmcsim.MutexSweepParallel(hmcsim.FourLink4GB(), *lo, *hi, *addr, *workers)
 	if err != nil {
 		fatal(err)
 	}
-	eight, err := hmcsim.MutexSweep(hmcsim.EightLink8GB(), *lo, *hi, *addr)
+	eight, err := hmcsim.MutexSweepParallel(hmcsim.EightLink8GB(), *lo, *hi, *addr, *workers)
 	if err != nil {
 		fatal(err)
 	}

@@ -202,6 +202,10 @@ var (
 	// evaluation.
 	RunMutex   = workload.RunMutex
 	MutexSweep = workload.MutexSweep
+	// MutexSweepParallel spreads the sweep's independent simulations
+	// across a bounded worker pool (workers <= 0 means one per host
+	// core) with results identical to — and ordered like — MutexSweep.
+	MutexSweepParallel = workload.MutexSweepParallel
 	// RunStream, RunGUPS and RunBFS run the supplementary kernels;
 	// RunTicketMutex runs the expressive-locks extension workload.
 	RunStream      = workload.RunStream

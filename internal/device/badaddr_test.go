@@ -1,0 +1,74 @@
+package device
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/hmccmd"
+	"repro/internal/packet"
+)
+
+// clockRecv clocks until a response arrives on link 0 or cycles run out.
+func clockRecv(t *testing.T, d *Device, cycles int) *packet.Rsp {
+	t.Helper()
+	for i := 0; i < cycles; i++ {
+		d.Clock()
+		if rsp, ok := d.Recv(0); ok {
+			return rsp
+		}
+	}
+	t.Fatal("no response")
+	return nil
+}
+
+// TestOutOfRangeAddrRoutesDeterministically is the regression test for
+// the requestPhase routing of out-of-range addresses: an ADRS beyond
+// device capacity (up to the maximum 64-bit value) must route to a
+// vault without panicking and come back as ErrstatBadAddr.
+func TestOutOfRangeAddrRoutesDeterministically(t *testing.T) {
+	cfg := config.FourLink4GB()
+	for _, adrs := range []uint64{
+		cfg.CapacityBytes(),     // first byte past the end
+		cfg.CapacityBytes() * 7, // far past the end
+		^uint64(0) - 63,         // top of the 64-bit space, block aligned
+		^uint64(0),              // every bit set
+	} {
+		d := newDev(t, cfg)
+		r := &packet.Rqst{Cmd: hmccmd.RD16, ADRS: adrs, TAG: 9}
+		if err := d.Send(0, r); err != nil {
+			t.Fatalf("ADRS %#x: send: %v", adrs, err)
+		}
+		rsp := clockRecv(t, d, 16)
+		if rsp.Cmd != hmccmd.RspError {
+			t.Fatalf("ADRS %#x: got %v, want RspError", adrs, rsp.Cmd)
+		}
+		if rsp.ERRSTAT != ErrstatBadAddr {
+			t.Fatalf("ADRS %#x: ERRSTAT %#x, want ErrstatBadAddr", adrs, rsp.ERRSTAT)
+		}
+		if got := d.Stats().ErrResponses; got != 1 {
+			t.Fatalf("ADRS %#x: ErrResponses = %d, want 1", adrs, got)
+		}
+	}
+}
+
+// TestOutOfRangePostedWriteLatchesError checks the posted-path variant:
+// no response channel exists, so the fault must latch ErrBitAccessFault
+// in the ERR register instead.
+func TestOutOfRangePostedWriteLatchesError(t *testing.T) {
+	cfg := config.FourLink4GB()
+	d := newDev(t, cfg)
+	r := &packet.Rqst{Cmd: hmccmd.PWR16, ADRS: cfg.CapacityBytes(), TAG: 3, Payload: []uint64{1, 2}}
+	if err := d.Send(0, r); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		d.Clock()
+	}
+	errReg, err := d.Regs().Read(RegERR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errReg&ErrBitAccessFault == 0 {
+		t.Fatalf("ERR = %#x, want ErrBitAccessFault latched", errReg)
+	}
+}

@@ -1,6 +1,7 @@
 package device
 
 import (
+	"math/bits"
 	"sync"
 
 	"repro/internal/packet"
@@ -11,6 +12,12 @@ import (
 // phase model; the phase ordering is what gives an uncongested request
 // its three-cycle round trip while still enforcing queue capacity and
 // FIFO ordering under load.
+//
+// The phases skip idle components: bitsets track which vaults hold
+// queued requests or responses (maintained where packets are pushed and
+// popped), and only those vaults are visited. Setting ForceWalk restores
+// the walk-everything behaviour; both modes produce bit-identical
+// results.
 func (d *Device) Clock() {
 	d.cycle++
 	d.stats.Cycles++
@@ -20,22 +27,31 @@ func (d *Device) Clock() {
 	d.samplePhase()
 }
 
+// The dirty masks are iterated ascending (TrailingZeros64), preserving
+// the deterministic vault visit order of the full walk. The bit loops
+// are written inline in each phase: closure-based iteration allocates,
+// and these run every cycle.
+
+func setBit(mask []uint64, i int)   { mask[i>>6] |= 1 << (i & 63) }
+func clearBit(mask []uint64, i int) { mask[i>>6] &^= 1 << (i & 63) }
+
 // responsePhase drains responses toward the host: vault response queues
 // into the crossbar's per-link response queues, then the crossbar queues
 // into the host link response queues. Processing vault->xbar before
 // xbar->link lets a response traverse the whole chain in one cycle when
 // uncongested.
 func (d *Device) responsePhase() {
-	for _, v := range d.vaults {
-		for {
-			f, ok := v.rsp.Peek()
-			if !ok {
-				break
+	if d.ForceWalk {
+		for i := range d.vaults {
+			d.drainVaultRsp(i)
+		}
+	} else {
+		for wi, w := range d.vaultRspMask {
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				w &^= 1 << b
+				d.drainVaultRsp(wi<<6 + b)
 			}
-			if err := d.xbar.rsp[f.Link].Push(f); err != nil {
-				break // crossbar port full: head-of-line wait
-			}
-			v.rsp.Pop()
 		}
 	}
 	for li, l := range d.links {
@@ -64,6 +80,23 @@ func (d *Device) responsePhase() {
 			q.Pop()
 			d.stats.Rsps++
 		}
+	}
+}
+
+// drainVaultRsp moves vault i's queued responses into the crossbar until
+// the queue empties (clearing its dirty bit) or the port fills.
+func (d *Device) drainVaultRsp(i int) {
+	v := d.vaults[i]
+	for {
+		f, ok := v.rsp.Peek()
+		if !ok {
+			clearBit(d.vaultRspMask, i)
+			return
+		}
+		if err := d.xbar.rsp[f.Link].Push(f); err != nil {
+			return // crossbar port full: head-of-line wait
+		}
+		v.rsp.Pop()
 	}
 }
 
@@ -102,45 +135,97 @@ func (d *Device) linkFault(l *Link, traversals, retryUntil *uint64, rqst *packet
 	return true
 }
 
-// executePhase services every vault's request queue. With Workers > 1
-// the vaults are serviced concurrently: the address map partitions
-// memory by vault, so vault executions are independent (each touches
-// only its own queues, banks and address range); per-worker statistics
-// are merged afterwards so the counters match the serial mode exactly.
+// executePhase services the request queue of every active vault. With
+// Workers > 1 the active vaults are serviced concurrently: the address
+// map partitions memory by vault, so vault executions are independent
+// (each touches only its own queues, banks, address shard and scratch);
+// per-worker statistics are merged afterwards so the counters match the
+// serial mode exactly.
 //
 // Parallel mode requires any loaded CMC operations to access only their
 // target block (true of every shipped operation) and a thread-safe
-// ExecHook; the sim layer enforces the latter.
+// ExecHook; the sim layer enforces the latter. Mask updates and Flight
+// recycling happen in a single-threaded pass after the workers join.
 func (d *Device) executePhase() {
-	if d.Workers <= 1 {
-		for _, v := range d.vaults {
-			d.execVault(v, &d.stats)
+	// Snapshot the active set: workers must not mutate the mask, and the
+	// pass below needs to revisit exactly the vaults that ran.
+	active := d.execScratch[:0]
+	if d.ForceWalk {
+		for i := range d.vaults {
+			active = append(active, i)
 		}
-		return
+	} else {
+		for wi, w := range d.vaultRqstMask {
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				w &^= 1 << b
+				active = append(active, wi<<6+b)
+			}
+		}
 	}
-	workers := d.Workers
-	if workers > len(d.vaults) {
-		workers = len(d.vaults)
+	d.execScratch = active
+
+	if len(active) > 0 {
+		workers := d.Workers
+		if workers > len(active) {
+			workers = len(active)
+		}
+		if workers <= 1 {
+			for _, i := range active {
+				d.execVault(d.vaults[i], &d.stats)
+			}
+		} else {
+			d.execParallel(workers)
+		}
 	}
-	partials := make([]Stats, workers)
+
+	// Single-threaded post-pass: reconcile the dirty masks with the
+	// queues the workers drained/filled, and recycle flights retired
+	// without a response (posted and flow commands).
+	for _, i := range active {
+		v := d.vaults[i]
+		if v.rqst.Empty() {
+			clearBit(d.vaultRqstMask, i)
+		}
+		if !v.rsp.Empty() {
+			setBit(d.vaultRspMask, i)
+		}
+		for _, f := range v.dead {
+			d.putFlight(f)
+		}
+		clear(v.dead)
+		v.dead = v.dead[:0]
+	}
+}
+
+// execParallel fans the active-vault list out across workers. It lives
+// in its own function (with the chunks passed as goroutine arguments) so
+// the serial path pays nothing for it: a closure capturing the active
+// slice would force the slice header to the heap on every cycle.
+func (d *Device) execParallel(workers int) {
+	active := d.execScratch
+	if cap(d.partialScratch) < workers {
+		d.partialScratch = make([]Stats, workers)
+	}
+	partials := d.partialScratch[:workers]
+	for i := range partials {
+		partials[i] = Stats{}
+	}
 	var wg sync.WaitGroup
-	chunk := (len(d.vaults) + workers - 1) / workers
+	chunk := (len(active) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(d.vaults) {
-			hi = len(d.vaults)
-		}
+		hi := min(lo+chunk, len(active))
 		if lo >= hi {
 			continue
 		}
 		wg.Add(1)
-		go func(w, lo, hi int) {
+		go func(part []int, st *Stats) {
 			defer wg.Done()
-			for _, v := range d.vaults[lo:hi] {
-				d.execVault(v, &partials[w])
+			for _, i := range part {
+				d.execVault(d.vaults[i], st)
 			}
-		}(w, lo, hi)
+		}(active[lo:hi], &partials[w])
 	}
 	wg.Wait()
 	for i := range partials {
@@ -163,7 +248,7 @@ func (d *Device) requestPhase() {
 			}
 			flits := int(f.Rqst.LNG)
 			if flits == 0 {
-				flits = int(f.Rqst.Cmd.Info().RqstFlits)
+				flits = int(f.Rqst.Cmd.InfoRef().RqstFlits)
 			}
 			if flits > budget {
 				d.stats.LinkSerStalls++
@@ -186,7 +271,16 @@ func (d *Device) requestPhase() {
 			if !ok {
 				break
 			}
-			vault := d.vaults[d.amap.VaultOf(f.Rqst.ADRS)]
+			// Route on the vault field. The address map's mask keeps the
+			// index in range for any 64-bit ADRS today; the clamp makes
+			// mis-sized future maps route deterministically to vault 0,
+			// where execution rejects the out-of-range address with
+			// ErrstatBadAddr instead of panicking here.
+			vi := d.amap.VaultOf(f.Rqst.ADRS)
+			if vi < 0 || vi >= len(d.vaults) {
+				vi = 0
+			}
+			vault := d.vaults[vi]
 			if err := vault.rqst.Push(f); err != nil {
 				// Full vault queue: strict FIFO per crossbar port means
 				// head-of-line blocking — the source of the 4Link/8Link
@@ -202,24 +296,61 @@ func (d *Device) requestPhase() {
 				}
 				break
 			}
+			setBit(d.vaultRqstMask, vi)
 			q.Pop()
 		}
 	}
 }
 
-// samplePhase records occupancy statistics for every queue once per
-// cycle.
+// samplePhase records occupancy statistics once per cycle. Empty queues
+// are skipped: an empty sample adds zero occupancy, and queue.Stats
+// reconstructs the skipped sample counts from the cycle counter
+// (SetSampleBase), so the reported statistics are bit-identical to
+// sampling everything.
 func (d *Device) samplePhase() {
+	if d.ForceWalk {
+		for _, l := range d.links {
+			l.rqst.Sample()
+			l.rsp.Sample()
+		}
+		for li := range d.links {
+			d.xbar.rqst[li].Sample()
+			d.xbar.rsp[li].Sample()
+		}
+		for _, v := range d.vaults {
+			v.rqst.Sample()
+			v.rsp.Sample()
+		}
+		return
+	}
 	for _, l := range d.links {
-		l.rqst.Sample()
-		l.rsp.Sample()
+		if !l.rqst.Empty() {
+			l.rqst.Sample()
+		}
+		if !l.rsp.Empty() {
+			l.rsp.Sample()
+		}
 	}
 	for li := range d.links {
-		d.xbar.rqst[li].Sample()
-		d.xbar.rsp[li].Sample()
+		if q := d.xbar.rqst[li]; !q.Empty() {
+			q.Sample()
+		}
+		if q := d.xbar.rsp[li]; !q.Empty() {
+			q.Sample()
+		}
 	}
-	for _, v := range d.vaults {
-		v.rqst.Sample()
-		v.rsp.Sample()
+	for wi, w := range d.vaultRqstMask {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &^= 1 << b
+			d.vaults[wi<<6+b].rqst.Sample()
+		}
+	}
+	for wi, w := range d.vaultRspMask {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &^= 1 << b
+			d.vaults[wi<<6+b].rsp.Sample()
+		}
 	}
 }

@@ -28,6 +28,31 @@
 // Backpressure is real: a full downstream queue leaves packets queued
 // upstream (head-of-line blocking), and a full host link queue rejects
 // Send with ErrStall — the HMC_STALL condition.
+//
+// # Concurrency
+//
+// The host API (Send/Recv/Clock) is single-goroutine, as in the
+// original simulator. With Workers > 1 only the execute phase fans out,
+// one goroutine per chunk of active vaults; every shared surface it can
+// reach is either synchronized or single-writer by construction:
+//
+//   - mem.Store: sharded on the address map's vault bits, one RWMutex
+//     per shard, so concurrent vault workers never contend — and are
+//     correct even if a CMC op reaches outside its vault's shard.
+//   - RegFile: all access (including PostError from posted-fault paths
+//     on worker goroutines) is behind its mutex.
+//   - trace tracers: Text, JSONL and Recorder all serialize Emit with a
+//     mutex; only the interleaving of same-cycle events is unordered.
+//   - cmc.Table: read-only after Load; ExecContext is per-vault scratch
+//     touched only by the vault's worker; script programs keep all
+//     execution state on the per-call stack.
+//   - amo.Unit: stateless aside from the store.
+//   - Stats: workers accumulate into per-worker partials merged after
+//     the join; the dirty bitsets, flight free list and per-vault dead
+//     lists are only read and written in single-threaded phase code
+//     (the post-execute pass runs after the workers join).
+//   - ExecHook: called concurrently, so it must be thread-safe; the sim
+//     layer wraps the power hook in a mutex when Workers > 1.
 package device
 
 import (
@@ -185,6 +210,30 @@ type Device struct {
 	// to serial, except for the interleaving of trace-event emission
 	// within a cycle.
 	Workers int
+
+	// ForceWalk disables idle skipping, making every clock phase walk
+	// every vault and sample every queue exactly as the original
+	// implementation did. Results are bit-identical either way (the
+	// equivalence tests prove it); the switch exists for those tests and
+	// for debugging.
+	ForceWalk bool
+
+	// flightPool recycles Flight envelopes: Send draws from it, Recv and
+	// the post-execute pass return to it. It is touched only from the
+	// host goroutine (Send/Recv/Clock), never from execute-phase
+	// workers, so it needs no lock.
+	flightPool []*Flight
+
+	// vaultRqstMask and vaultRspMask are bitsets of vaults whose request
+	// (resp. response) queues are non-empty, maintained at push/pop so
+	// the clock phases touch only active vaults. Updated only from
+	// single-threaded phase code (never from execute workers).
+	vaultRqstMask, vaultRspMask []uint64
+
+	// execScratch and partialScratch are reusable per-cycle buffers for
+	// the execute phase (active-vault list and per-worker stat partials).
+	execScratch    []int
+	partialScratch []Stats
 }
 
 // New builds a device from a configuration. A nil tracer disables
@@ -204,12 +253,15 @@ func New(id int, cfg config.Config, tracer trace.Tracer) (*Device, error) {
 		return nil, err
 	}
 	d := &Device{
-		ID:     id,
-		Cfg:    cfg,
-		xbar:   newCrossbar(cfg),
-		regs:   newRegFile(cfg),
-		amap:   amap,
-		store:  mem.New(cfg.CapacityBytes()),
+		ID:   id,
+		Cfg:  cfg,
+		xbar: newCrossbar(cfg),
+		regs: newRegFile(cfg),
+		amap: amap,
+		// Shard the page table on the vault bits of the address map:
+		// requests are partitioned by vault, so under WithParallelClock
+		// no two workers ever contend for the same shard lock.
+		store:  mem.NewSharded(cfg.CapacityBytes(), cfg.OffsetBits(), cfg.VaultBits()),
 		cmcTab: cmc.NewTable(),
 		tracer: tracer,
 	}
@@ -222,7 +274,40 @@ func New(id int, cfg config.Config, tracer trace.Tracer) (*Device, error) {
 	for i := range d.vaults {
 		d.vaults[i] = newVault(i, cfg)
 	}
+	d.vaultRqstMask = make([]uint64, (cfg.Vaults+63)/64)
+	d.vaultRspMask = make([]uint64, (cfg.Vaults+63)/64)
+	d.execScratch = make([]int, 0, cfg.Vaults)
+	// Tie every queue's sample count to the cycle counter so the sample
+	// phase may skip empty queues without perturbing the statistics.
+	for _, l := range d.links {
+		l.rqst.SetSampleBase(&d.stats.Cycles)
+		l.rsp.SetSampleBase(&d.stats.Cycles)
+	}
+	for i := range d.xbar.rqst {
+		d.xbar.rqst[i].SetSampleBase(&d.stats.Cycles)
+		d.xbar.rsp[i].SetSampleBase(&d.stats.Cycles)
+	}
+	for _, v := range d.vaults {
+		v.rqst.SetSampleBase(&d.stats.Cycles)
+		v.rsp.SetSampleBase(&d.stats.Cycles)
+	}
 	return d, nil
+}
+
+// getFlight draws a Flight envelope from the device free list.
+func (d *Device) getFlight() *Flight {
+	if n := len(d.flightPool); n > 0 {
+		f := d.flightPool[n-1]
+		d.flightPool = d.flightPool[:n-1]
+		return f
+	}
+	return &Flight{}
+}
+
+// putFlight clears and recycles a Flight envelope.
+func (d *Device) putFlight(f *Flight) {
+	*f = Flight{}
+	d.flightPool = append(d.flightPool, f)
 }
 
 // Store exposes the device's backing memory for host-side initialization
@@ -273,8 +358,10 @@ func (d *Device) Send(link int, r *packet.Rqst) error {
 	if int(r.CUB) != d.ID {
 		return fmt.Errorf("%w: CUB %d on device %d", ErrWrongCUB, r.CUB, d.ID)
 	}
-	f := &Flight{Rqst: r, Link: link, SendCycle: d.cycle}
+	f := d.getFlight()
+	f.Rqst, f.Link, f.SendCycle = r, link, d.cycle
 	if err := d.links[link].rqst.Push(f); err != nil {
+		d.putFlight(f)
 		d.stats.SendStalls++
 		if d.tracer.Enabled(trace.LevelStall) {
 			d.tracer.Emit(trace.Event{
@@ -299,13 +386,17 @@ func (d *Device) Recv(link int) (*packet.Rsp, bool) {
 	if !ok {
 		return nil, false
 	}
+	rsp := f.Rsp
 	if d.tracer.Enabled(trace.LevelLatency) {
 		d.tracer.Emit(trace.Event{
 			Cycle: d.cycle, Kind: trace.LevelLatency,
 			Dev: d.ID, Quad: -1, Vault: -1, Bank: -1,
-			Cmd: f.Rsp.Cmd.String(), Tag: f.Rsp.TAG,
+			Cmd: rsp.Cmd.String(), Tag: rsp.TAG,
 			Value: d.cycle - f.SendCycle, Detail: "round-trip cycles at recv",
 		})
 	}
-	return f.Rsp, true
+	// The response packet belongs to the host now; only the Flight
+	// envelope is recycled.
+	d.putFlight(f)
+	return rsp, true
 }

@@ -1,7 +1,6 @@
 package device
 
 import (
-	"encoding/binary"
 	"errors"
 
 	"repro/internal/addr"
@@ -35,6 +34,15 @@ type Vault struct {
 	rqst     *queue.Queue[*Flight]
 	rsp      *queue.Queue[*Flight]
 	banks    []Bank
+
+	// ctxScratch is the reusable CMC execute context for this vault.
+	// Each vault is serviced by at most one execute-phase worker per
+	// cycle, so the scratch is never shared.
+	ctxScratch cmc.ExecContext
+	// dead collects flights retired without a response this cycle
+	// (posted and flow commands); the single-threaded post-execute pass
+	// recycles them into the device flight pool.
+	dead []*Flight
 }
 
 func newVault(id int, cfg config.Config) *Vault {
@@ -72,6 +80,7 @@ func (d *Device) execVault(v *Vault, st *Stats) {
 			return
 		}
 		r := f.Rqst
+		info := r.Cmd.InfoRef()
 		loc, locErr := d.amap.Decode(r.ADRS)
 
 		// Bank availability (only meaningful for in-range addresses).
@@ -91,7 +100,7 @@ func (d *Device) execVault(v *Vault, st *Stats) {
 		}
 
 		// Response-queue space: every non-posted request needs one slot.
-		needsRsp := !r.Cmd.Posted() && r.Cmd.Info().Class != hmccmd.ClassFlow
+		needsRsp := info.Class != hmccmd.ClassFlow && info.Rsp != hmccmd.RspNone
 		if needsRsp && v.rsp.Full() {
 			st.RspBackpressure++
 			return
@@ -99,7 +108,7 @@ func (d *Device) execVault(v *Vault, st *Stats) {
 
 		v.rqst.Pop()
 		f.ExecCycle = d.cycle
-		st.Rqsts[r.Cmd.Info().Class]++
+		st.Rqsts[info.Class]++
 
 		if locErr == nil {
 			b := &v.banks[loc.Bank]
@@ -118,7 +127,7 @@ func (d *Device) execVault(v *Vault, st *Stats) {
 			b.Ops++
 		}
 
-		rsp := d.executeRqst(v, f, loc, locErr, st)
+		rsp := d.executeRqst(v, f, info, loc, locErr, st)
 		if d.ExecHook != nil {
 			rspFlits := 0
 			if rsp != nil {
@@ -126,9 +135,9 @@ func (d *Device) execVault(v *Vault, st *Stats) {
 			}
 			rqstFlits := int(r.LNG)
 			if rqstFlits == 0 {
-				rqstFlits = int(r.Cmd.Info().RqstFlits)
+				rqstFlits = int(info.RqstFlits)
 			}
-			d.ExecHook(r.Cmd.Info().Class, rqstFlits, rspFlits, dramBlocksOf(r.Cmd))
+			d.ExecHook(info.Class, rqstFlits, rspFlits, dramBlocksOf(info))
 		}
 		if d.tracer.Enabled(trace.LevelRqst) {
 			d.tracer.Emit(trace.Event{
@@ -138,7 +147,10 @@ func (d *Device) execVault(v *Vault, st *Stats) {
 			})
 		}
 		if rsp == nil {
-			continue // posted or flow: no response packet
+			// Posted or flow: no response packet — the envelope dies
+			// here and is recycled after the phase's workers join.
+			v.dead = append(v.dead, f)
+			continue
 		}
 		f.Rsp = rsp
 		f.Rqst = nil
@@ -158,8 +170,7 @@ func (d *Device) execVault(v *Vault, st *Stats) {
 
 // dramBlocksOf returns the number of 16-byte DRAM blocks an executed
 // command touches, for energy accounting.
-func dramBlocksOf(cmd hmccmd.Rqst) int {
-	info := cmd.Info()
+func dramBlocksOf(info *hmccmd.Info) int {
 	switch info.Class {
 	case hmccmd.ClassRead, hmccmd.ClassWrite, hmccmd.ClassPostedWrite:
 		return int(info.DataBytes) / 16
@@ -179,9 +190,8 @@ func bankOf(loc addr.Location, err error) int {
 
 // executeRqst performs one request in-situ and builds its response (nil
 // for posted/flow commands).
-func (d *Device) executeRqst(v *Vault, f *Flight, loc addr.Location, locErr error, st *Stats) *packet.Rsp {
+func (d *Device) executeRqst(v *Vault, f *Flight, info *hmccmd.Info, loc addr.Location, locErr error, st *Stats) *packet.Rsp {
 	r := f.Rqst
-	info := r.Cmd.Info()
 
 	switch info.Class {
 	case hmccmd.ClassFlow:
@@ -197,8 +207,8 @@ func (d *Device) executeRqst(v *Vault, f *Flight, loc addr.Location, locErr erro
 	// All remaining classes address DRAM: validate the target first.
 	// Posted requests have no response channel, so their faults drop the
 	// packet and latch the device error register instead.
-	if locErr != nil || d.blockViolation(r) {
-		if r.Cmd.Posted() {
+	if locErr != nil || d.blockViolation(r, info) {
+		if info.Rsp == hmccmd.RspNone {
 			d.regs.PostError(ErrBitAccessFault)
 			st.ErrResponses++
 			return nil
@@ -211,14 +221,20 @@ func (d *Device) executeRqst(v *Vault, f *Flight, loc addr.Location, locErr erro
 
 	switch info.Class {
 	case hmccmd.ClassRead:
-		buf := make([]byte, info.DataBytes)
-		if err := d.store.Read(r.ADRS, buf); err != nil {
+		// Zero-copy datapath: one exact-size payload allocation filled
+		// straight from the page bytes (DataBytes/8 always equals the
+		// 2*(RspFlits-1) words the response carries, so dataRsp never
+		// re-pads it).
+		payload := make([]uint64, int(info.DataBytes)/8)
+		if err := d.store.ReadWords(r.ADRS, payload); err != nil {
 			return d.errorRsp(f, ErrstatBadAddr, st)
 		}
-		return d.dataRsp(f, info.Rsp, info.RspFlits, bytesToWords(buf), false)
+		return d.dataRsp(f, info.Rsp, info.RspFlits, payload, false)
 
 	case hmccmd.ClassWrite, hmccmd.ClassPostedWrite:
-		if err := d.store.Write(r.ADRS, wordsToBytes(r.Payload, int(info.DataBytes))); err != nil {
+		// Zero-copy datapath: payload words land directly in the page,
+		// zero-filling up to DataBytes — no intermediate byte buffer.
+		if err := d.store.WriteWords(r.ADRS, r.Payload, int(info.DataBytes)); err != nil {
 			return d.errorRsp(f, ErrstatBadAddr, st)
 		}
 		if info.Class == hmccmd.ClassPostedWrite {
@@ -261,7 +277,10 @@ func (d *Device) executeCMC(v *Vault, f *Flight, loc addr.Location, locErr error
 	if locErr != nil {
 		return d.errorRsp(f, ErrstatBadAddr, st)
 	}
-	ctx := &cmc.ExecContext{
+	// Reuse the vault's scratch context: only this vault's worker
+	// touches it, and the table allocates RspPayload fresh per execute.
+	ctx := &v.ctxScratch
+	*ctx = cmc.ExecContext{
 		Dev:         uint32(d.ID),
 		Quad:        uint32(v.Quad),
 		Vault:       uint32(v.ID),
@@ -333,8 +352,8 @@ func (d *Device) executeMode(f *Flight, st *Stats) *packet.Rsp {
 // blockViolation reports a DRAM request that exceeds the configured
 // maximum block size or crosses an interleave-block boundary; the HMC
 // specification forbids both.
-func (d *Device) blockViolation(r *packet.Rqst) bool {
-	n := uint64(r.Cmd.Info().DataBytes)
+func (d *Device) blockViolation(r *packet.Rqst, info *hmccmd.Info) bool {
+	n := uint64(info.DataBytes)
 	if n == 0 {
 		return false
 	}
@@ -385,20 +404,3 @@ func (d *Device) errorRsp(f *Flight, errstat uint8, st *Stats) *packet.Rsp {
 	}
 }
 
-// bytesToWords packs bytes into little-endian 64-bit payload words.
-func bytesToWords(b []byte) []uint64 {
-	out := make([]uint64, len(b)/8)
-	for i := range out {
-		out[i] = binary.LittleEndian.Uint64(b[8*i:])
-	}
-	return out
-}
-
-// wordsToBytes unpacks payload words into n little-endian bytes.
-func wordsToBytes(words []uint64, n int) []byte {
-	out := make([]byte, n)
-	for i := 0; i < n/8 && i < len(words); i++ {
-		binary.LittleEndian.PutUint64(out[8*i:], words[i])
-	}
-	return out
-}

@@ -328,8 +328,31 @@ func (r Rqst) Info() Info {
 	return infoTable[r]
 }
 
+// InfoRef returns a pointer into the command property table. The
+// returned Info must not be modified; the pointer form exists for hot
+// paths (the device clock loop) where the by-value Info copy and the
+// repeated table loads of chained r.Info().X calls are measurable. It
+// panics on an out-of-range enum exactly like Info.
+func (r Rqst) InfoRef() *Info {
+	if !r.Valid() {
+		panic(fmt.Sprintf("hmccmd: invalid request enum %d", uint8(r)))
+	}
+	return &infoTable[r]
+}
+
+// InfoForCode returns the property-table entry for a 7-bit command
+// code — a single flat-array load, used by the dispatch hot path in
+// place of a FromCode+Info double lookup. Codes outside the 7-bit
+// space return nil.
+func InfoForCode(code uint8) *Info {
+	if code >= NumCodes {
+		return nil
+	}
+	return &infoTable[codeTable[code]]
+}
+
 // Code returns the 7-bit command code for the request enum.
-func (r Rqst) Code() uint8 { return r.Info().Code }
+func (r Rqst) Code() uint8 { return r.InfoRef().Code }
 
 // String returns the specification-style command mnemonic.
 func (r Rqst) String() string {
@@ -340,7 +363,10 @@ func (r Rqst) String() string {
 }
 
 // Posted reports whether the request expects no response packet.
-func (r Rqst) Posted() bool { return r.Info().Rsp == RspNone && r.Info().Class != ClassFlow }
+func (r Rqst) Posted() bool {
+	i := r.InfoRef()
+	return i.Rsp == RspNone && i.Class != ClassFlow
+}
 
 // FromCode maps a 7-bit command code to its request enum. The second
 // return value is false when the code is out of the 7-bit range.

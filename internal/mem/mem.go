@@ -11,6 +11,24 @@
 // data, paper §V-A), so the store provides 16-byte block accessors used by
 // the atomic and CMC execution units, alongside arbitrary-span accessors
 // used by the read/write datapath.
+//
+// # Sharding
+//
+// The device interleaves its address space across vaults at the
+// maximum-block-size granularity (internal/addr), and the device clock
+// may service vaults concurrently (WithParallelClock). To keep the
+// store contention-free under that traffic pattern it can be built
+// sharded on the same vault bits (NewSharded): each shard owns its own
+// lock and page table, so two vaults never contend for the same lock.
+//
+// A shard stores its slice of the address space *compacted*: the
+// granules (interleave blocks) belonging to one shard are packed
+// contiguously before being split into pages, so sharding adds zero
+// page-storage overhead. Because the HMC forbids DRAM requests from
+// crossing an interleave-block boundary, every datapath access lands in
+// exactly one shard — and, since the granule size divides the page
+// size, in exactly one page. Host-side bulk preloads that span granules
+// are split transparently.
 package mem
 
 import (
@@ -34,31 +52,71 @@ var (
 	ErrUnaligned = errors.New("mem: block access not 16-byte aligned")
 )
 
+// shard is one independently locked slice of the address space.
+type shard struct {
+	mu    sync.RWMutex
+	pages map[uint64]*[PageBytes]byte
+}
+
 // Store is a sparse, lazily allocated memory of fixed capacity. All
 // methods are safe for concurrent use.
 type Store struct {
-	mu       sync.RWMutex
-	pages    map[uint64]*[PageBytes]byte
-	capacity uint64
+	shards []shard
+	// granuleBits is the log2 interleave granularity; addresses within
+	// one granule share a shard. shardMask selects the shard from the
+	// bits directly above the granule.
+	granuleBits uint
+	shardBits   uint
+	shardMask   uint64
+	capacity    uint64
 }
 
-// New returns a store of the given capacity in bytes.
-func New(capacity uint64) *Store {
-	return &Store{
-		pages:    make(map[uint64]*[PageBytes]byte),
-		capacity: capacity,
+// New returns an unsharded store of the given capacity in bytes.
+func New(capacity uint64) *Store { return NewSharded(capacity, 0, 0) }
+
+// NewSharded returns a store of the given capacity whose page table is
+// partitioned into 1<<shardBits independent shards selected by address
+// bits [granuleBits, granuleBits+shardBits). Matching these to the
+// device's offset and vault bits makes concurrent per-vault traffic
+// contention-free. granuleBits and shardBits of zero degrade to a
+// single shard. It panics on geometry that cannot address the capacity,
+// which always indicates a configuration error upstream.
+func NewSharded(capacity uint64, granuleBits, shardBits int) *Store {
+	if granuleBits < 0 || shardBits < 0 ||
+		(shardBits > 0 && granuleBits+shardBits > 62) ||
+		(shardBits > 0 && BlockBytes > 1<<granuleBits) {
+		panic(fmt.Sprintf("mem: invalid shard geometry granuleBits=%d shardBits=%d", granuleBits, shardBits))
 	}
+	s := &Store{
+		shards:      make([]shard, 1<<shardBits),
+		granuleBits: uint(granuleBits),
+		shardBits:   uint(shardBits),
+		shardMask:   1<<shardBits - 1,
+		capacity:    capacity,
+	}
+	for i := range s.shards {
+		s.shards[i].pages = make(map[uint64]*[PageBytes]byte)
+	}
+	return s
 }
 
 // Capacity returns the configured capacity in bytes.
 func (s *Store) Capacity() uint64 { return s.capacity }
 
+// Shards returns the number of independent page-table shards.
+func (s *Store) Shards() int { return len(s.shards) }
+
 // AllocatedBytes returns the number of bytes of page storage currently
 // materialized.
 func (s *Store) AllocatedBytes() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return uint64(len(s.pages)) * PageBytes
+	var n uint64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += uint64(len(sh.pages)) * PageBytes
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 func (s *Store) check(addr uint64, n int) error {
@@ -68,23 +126,94 @@ func (s *Store) check(addr uint64, n int) error {
 	return nil
 }
 
+// locate maps a global address to its shard and the address within the
+// shard's compacted local space. Addresses in the same granule always
+// share (shard, local page).
+func (s *Store) locate(addr uint64) (*shard, uint64) {
+	if s.shardMask == 0 {
+		return &s.shards[0], addr
+	}
+	sid := addr >> s.granuleBits & s.shardMask
+	local := addr>>(s.granuleBits+s.shardBits)<<s.granuleBits | addr&(1<<s.granuleBits-1)
+	return &s.shards[sid], local
+}
+
+// granuleSpan returns how many of the n bytes at addr fall inside the
+// address's granule (the whole span for an unsharded store).
+func (s *Store) granuleSpan(addr uint64, n int) int {
+	if s.shardMask == 0 {
+		return n
+	}
+	if left := int(uint64(1)<<s.granuleBits - addr&(1<<s.granuleBits-1)); left < n {
+		return left
+	}
+	return n
+}
+
+// read copies n bytes at local into p under the shard read lock.
+func (sh *shard) read(local uint64, p []byte) {
+	sh.mu.RLock()
+	for done := 0; done < len(p); {
+		pageIdx := (local + uint64(done)) / PageBytes
+		off := int((local + uint64(done)) % PageBytes)
+		n := min(len(p)-done, PageBytes-off)
+		if page, ok := sh.pages[pageIdx]; ok {
+			copy(p[done:done+n], page[off:off+n])
+		} else {
+			clear(p[done : done+n])
+		}
+		done += n
+	}
+	sh.mu.RUnlock()
+}
+
+// write copies p into the shard at local, materializing pages as needed.
+func (sh *shard) write(local uint64, p []byte) {
+	sh.mu.Lock()
+	for done := 0; done < len(p); {
+		pageIdx := (local + uint64(done)) / PageBytes
+		off := int((local + uint64(done)) % PageBytes)
+		n := min(len(p)-done, PageBytes-off)
+		page, ok := sh.pages[pageIdx]
+		if !ok {
+			page = new([PageBytes]byte)
+			sh.pages[pageIdx] = page
+		}
+		copy(page[off:off+n], p[done:done+n])
+		done += n
+	}
+	sh.mu.Unlock()
+}
+
+// page returns the materialized page containing local, or nil. Callers
+// hold the shard read lock.
+func (sh *shard) page(local uint64) *[PageBytes]byte {
+	return sh.pages[local/PageBytes]
+}
+
+// ensurePage returns the page containing local, materializing it if
+// needed. Callers hold the shard write lock.
+func (sh *shard) ensurePage(local uint64) *[PageBytes]byte {
+	idx := local / PageBytes
+	page, ok := sh.pages[idx]
+	if !ok {
+		page = new([PageBytes]byte)
+		sh.pages[idx] = page
+	}
+	return page
+}
+
 // Read copies len(p) bytes starting at addr into p. Unwritten memory
 // reads as zero.
 func (s *Store) Read(addr uint64, p []byte) error {
 	if err := s.check(addr, len(p)); err != nil {
 		return err
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	for done := 0; done < len(p); {
-		pageIdx := (addr + uint64(done)) / PageBytes
-		off := int((addr + uint64(done)) % PageBytes)
-		n := min(len(p)-done, PageBytes-off)
-		if page, ok := s.pages[pageIdx]; ok {
-			copy(p[done:done+n], page[off:off+n])
-		} else {
-			clear(p[done : done+n])
-		}
+		a := addr + uint64(done)
+		n := s.granuleSpan(a, len(p)-done)
+		sh, local := s.locate(a)
+		sh.read(local, p[done:done+n])
 		done += n
 	}
 	return nil
@@ -96,25 +225,112 @@ func (s *Store) Write(addr uint64, p []byte) error {
 	if err := s.check(addr, len(p)); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	for done := 0; done < len(p); {
-		pageIdx := (addr + uint64(done)) / PageBytes
-		off := int((addr + uint64(done)) % PageBytes)
-		n := min(len(p)-done, PageBytes-off)
-		page, ok := s.pages[pageIdx]
-		if !ok {
-			page = new([PageBytes]byte)
-			s.pages[pageIdx] = page
-		}
-		copy(page[off:off+n], p[done:done+n])
+		a := addr + uint64(done)
+		n := s.granuleSpan(a, len(p)-done)
+		sh, local := s.locate(a)
+		sh.write(local, p[done:done+n])
 		done += n
+	}
+	return nil
+}
+
+// ReadWords reads len(dst)*8 bytes at addr directly into little-endian
+// 64-bit payload words — the zero-copy read datapath: no intermediate
+// byte buffer, and a single page access when the span stays inside one
+// granule (every spec-legal DRAM request does).
+func (s *Store) ReadWords(addr uint64, dst []uint64) error {
+	n := len(dst) * 8
+	if err := s.check(addr, n); err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	sh, local := s.locate(addr)
+	if s.granuleSpan(addr, n) == n && int(local%PageBytes)+n <= PageBytes {
+		sh.mu.RLock()
+		if page := sh.page(local); page != nil {
+			off := int(local % PageBytes)
+			for i := range dst {
+				dst[i] = binary.LittleEndian.Uint64(page[off+8*i:])
+			}
+		} else {
+			clear(dst)
+		}
+		sh.mu.RUnlock()
+		return nil
+	}
+	// Cross-granule span (host-side use only): fall back to the general
+	// byte path one word at a time.
+	var b [8]byte
+	for i := range dst {
+		if err := s.Read(addr+uint64(8*i), b[:]); err != nil {
+			return err
+		}
+		dst[i] = binary.LittleEndian.Uint64(b[:])
+	}
+	return nil
+}
+
+// WriteWords writes n bytes at addr from little-endian payload words,
+// zero-filling bytes beyond the supplied words — the zero-copy write
+// datapath mirroring ReadWords. n must be a multiple of 8.
+func (s *Store) WriteWords(addr uint64, src []uint64, n int) error {
+	if err := s.check(addr, n); err != nil {
+		return err
+	}
+	if n%8 != 0 {
+		return fmt.Errorf("%w: WriteWords length %d not word-aligned", ErrUnaligned, n)
+	}
+	if n == 0 {
+		return nil
+	}
+	words := n / 8
+	sh, local := s.locate(addr)
+	if s.granuleSpan(addr, n) == n && int(local%PageBytes)+n <= PageBytes {
+		sh.mu.Lock()
+		page := sh.ensurePage(local)
+		off := int(local % PageBytes)
+		for i := 0; i < words; i++ {
+			var v uint64
+			if i < len(src) {
+				v = src[i]
+			}
+			binary.LittleEndian.PutUint64(page[off+8*i:], v)
+		}
+		sh.mu.Unlock()
+		return nil
+	}
+	var b [8]byte
+	for i := 0; i < words; i++ {
+		var v uint64
+		if i < len(src) {
+			v = src[i]
+		}
+		binary.LittleEndian.PutUint64(b[:], v)
+		if err := s.Write(addr+uint64(8*i), b[:]); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
 // ReadUint64 reads a little-endian 64-bit word at addr.
 func (s *Store) ReadUint64(addr uint64) (uint64, error) {
+	if err := s.check(addr, 8); err != nil {
+		return 0, err
+	}
+	sh, local := s.locate(addr)
+	if off := int(local % PageBytes); s.granuleSpan(addr, 8) == 8 && off+8 <= PageBytes {
+		sh.mu.RLock()
+		var v uint64
+		if page := sh.page(local); page != nil {
+			v = binary.LittleEndian.Uint64(page[off:])
+		}
+		sh.mu.RUnlock()
+		return v, nil
+	}
 	var b [8]byte
 	if err := s.Read(addr, b[:]); err != nil {
 		return 0, err
@@ -124,6 +340,16 @@ func (s *Store) ReadUint64(addr uint64) (uint64, error) {
 
 // WriteUint64 writes a little-endian 64-bit word at addr.
 func (s *Store) WriteUint64(addr, v uint64) error {
+	if err := s.check(addr, 8); err != nil {
+		return err
+	}
+	sh, local := s.locate(addr)
+	if off := int(local % PageBytes); s.granuleSpan(addr, 8) == 8 && off+8 <= PageBytes {
+		sh.mu.Lock()
+		binary.LittleEndian.PutUint64(sh.ensurePage(local)[off:], v)
+		sh.mu.Unlock()
+		return nil
+	}
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], v)
 	return s.Write(addr, b[:])
@@ -136,45 +362,52 @@ type Block struct {
 	Lo, Hi uint64
 }
 
-// blockAddr validates and returns the aligned base address of a block.
-func blockAddr(addr uint64) (uint64, error) {
-	if addr%BlockBytes != 0 {
-		return 0, fmt.Errorf("%w: addr %#x", ErrUnaligned, addr)
-	}
-	return addr, nil
-}
-
-// ReadBlock reads the aligned 16-byte block at addr.
+// ReadBlock reads the aligned 16-byte block at addr directly from its
+// page — no intermediate byte-slice marshaling.
 func (s *Store) ReadBlock(addr uint64) (Block, error) {
-	base, err := blockAddr(addr)
-	if err != nil {
+	if addr%BlockBytes != 0 {
+		return Block{}, fmt.Errorf("%w: addr %#x", ErrUnaligned, addr)
+	}
+	if err := s.check(addr, BlockBytes); err != nil {
 		return Block{}, err
 	}
-	var b [BlockBytes]byte
-	if err := s.Read(base, b[:]); err != nil {
-		return Block{}, err
+	sh, local := s.locate(addr)
+	off := int(local % PageBytes)
+	sh.mu.RLock()
+	var blk Block
+	if page := sh.page(local); page != nil {
+		blk.Lo = binary.LittleEndian.Uint64(page[off:])
+		blk.Hi = binary.LittleEndian.Uint64(page[off+8:])
 	}
-	return Block{
-		Lo: binary.LittleEndian.Uint64(b[0:8]),
-		Hi: binary.LittleEndian.Uint64(b[8:16]),
-	}, nil
+	sh.mu.RUnlock()
+	return blk, nil
 }
 
-// WriteBlock writes the aligned 16-byte block at addr.
+// WriteBlock writes the aligned 16-byte block at addr directly into its
+// page.
 func (s *Store) WriteBlock(addr uint64, blk Block) error {
-	base, err := blockAddr(addr)
-	if err != nil {
+	if addr%BlockBytes != 0 {
+		return fmt.Errorf("%w: addr %#x", ErrUnaligned, addr)
+	}
+	if err := s.check(addr, BlockBytes); err != nil {
 		return err
 	}
-	var b [BlockBytes]byte
-	binary.LittleEndian.PutUint64(b[0:8], blk.Lo)
-	binary.LittleEndian.PutUint64(b[8:16], blk.Hi)
-	return s.Write(base, b[:])
+	sh, local := s.locate(addr)
+	off := int(local % PageBytes)
+	sh.mu.Lock()
+	page := sh.ensurePage(local)
+	binary.LittleEndian.PutUint64(page[off:], blk.Lo)
+	binary.LittleEndian.PutUint64(page[off+8:], blk.Hi)
+	sh.mu.Unlock()
+	return nil
 }
 
 // Reset drops all materialized pages, returning the store to all-zeros.
 func (s *Store) Reset() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.pages = make(map[uint64]*[PageBytes]byte)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.pages = make(map[uint64]*[PageBytes]byte)
+		sh.mu.Unlock()
+	}
 }

@@ -49,6 +49,12 @@ type Queue[T any] struct {
 	head  int
 	count int
 	stats Stats
+	// sampleBase, when set, points at the owner's cycle counter. The
+	// owner may then skip Sample() on cycles where the queue is empty
+	// (an empty sample adds zero occupancy), and Stats() reconstructs
+	// the skipped samples arithmetically so results stay bit-identical
+	// to sampling every cycle.
+	sampleBase *uint64
 }
 
 // New returns a queue with the given capacity. It panics if capacity is
@@ -119,8 +125,21 @@ func (q *Queue[T]) Sample() {
 	q.stats.samples++
 }
 
+// SetSampleBase ties the queue's sample count to an external cycle
+// counter, licensing the owner to skip Sample() while the queue is
+// empty: Stats() then reports samples = max(recorded, *cycles), which
+// equals sampling every cycle because empty samples contribute zero to
+// the occupancy sum and cannot raise MaxOccupancy. Pass nil to detach.
+func (q *Queue[T]) SetSampleBase(cycles *uint64) { q.sampleBase = cycles }
+
 // Stats returns a copy of the queue's lifetime statistics.
-func (q *Queue[T]) Stats() Stats { return q.stats }
+func (q *Queue[T]) Stats() Stats {
+	s := q.stats
+	if q.sampleBase != nil && *q.sampleBase > s.samples {
+		s.samples = *q.sampleBase
+	}
+	return s
+}
 
 // Reset empties the queue and clears its statistics.
 func (q *Queue[T]) Reset() {

@@ -167,3 +167,50 @@ func BenchmarkPushPop(b *testing.B) {
 		q.Pop()
 	}
 }
+
+// TestSampleBaseReconstruction: with a sample base attached, skipping
+// Sample() on empty cycles must yield statistics bit-identical to
+// sampling every cycle.
+func TestSampleBaseReconstruction(t *testing.T) {
+	every := New[int](4)   // sampled every cycle
+	skipped := New[int](4) // sampled only when non-empty
+	var cycles uint64
+	skipped.SetSampleBase(&cycles)
+
+	step := func(pushes, pops int) {
+		cycles++
+		for i := 0; i < pushes; i++ {
+			every.Push(i)
+			skipped.Push(i)
+		}
+		for i := 0; i < pops; i++ {
+			every.Pop()
+			skipped.Pop()
+		}
+		every.Sample()
+		if !skipped.Empty() {
+			skipped.Sample()
+		}
+	}
+
+	// Idle cycles, a burst, a drain, more idle.
+	step(0, 0)
+	step(0, 0)
+	step(3, 0)
+	step(0, 1)
+	step(1, 3)
+	for i := 0; i < 5; i++ {
+		step(0, 0)
+	}
+
+	a, b := every.Stats(), skipped.Stats()
+	if a.Samples() != b.Samples() {
+		t.Errorf("samples: every %d, skipped %d", a.Samples(), b.Samples())
+	}
+	if a.AvgOccupancy() != b.AvgOccupancy() {
+		t.Errorf("avg occupancy: every %v, skipped %v", a.AvgOccupancy(), b.AvgOccupancy())
+	}
+	if a.MaxOccupancy != b.MaxOccupancy || a.Pushes != b.Pushes || a.Pops != b.Pops {
+		t.Errorf("counter mismatch: %+v vs %+v", a, b)
+	}
+}

@@ -185,17 +185,10 @@ func RunMutex(cfg config.Config, threads int, lockAddr uint64, opts ...sim.Optio
 }
 
 // MutexSweep reproduces the paper's evaluation: thread counts from lo to
-// hi (inclusive) against one configuration.
+// hi (inclusive) against one configuration, one at a time. Use
+// MutexSweepParallel to spread the sweep across host cores.
 func MutexSweep(cfg config.Config, lo, hi int, lockAddr uint64) (MutexSweepResult, error) {
-	out := MutexSweepResult{Config: cfg}
-	for n := lo; n <= hi; n++ {
-		run, err := RunMutex(cfg, n, lockAddr)
-		if err != nil {
-			return out, fmt.Errorf("threads=%d: %w", n, err)
-		}
-		out.Runs = append(out.Runs, run)
-	}
-	return out, nil
+	return MutexSweepParallel(cfg, lo, hi, lockAddr, 1)
 }
 
 // TableVI summarizes a sweep the way the paper's Table VI does: the

@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/config"
+)
+
+// RunIndexed executes n independent jobs across a bounded pool of
+// workers and returns the results in index order. workers <= 0 selects
+// one worker per host core. Errors do not cancel in-flight jobs; if
+// several jobs fail, the error of the lowest index is returned, so the
+// outcome is deterministic regardless of scheduling.
+//
+// Sweep points are embarrassingly parallel — each builds its own
+// simulator, memory and agents — which is what makes regenerating the
+// paper's Figures 5-7 (hundreds of full simulations) scale with host
+// cores.
+func RunIndexed[T any](workers, n int, job func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			r, err := job(i)
+			if err != nil {
+				return results, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+	errs := make([]error, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = job(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// MutexSweepParallel runs the mutex sweep with the given worker count
+// (<= 0 means one per host core). Each thread count gets an independent
+// simulator, so results — including every cycle count and statistic —
+// are identical to the serial sweep; only wall time changes.
+func MutexSweepParallel(cfg config.Config, lo, hi int, lockAddr uint64, workers int) (MutexSweepResult, error) {
+	out := MutexSweepResult{Config: cfg}
+	if hi < lo {
+		return out, nil
+	}
+	runs, err := RunIndexed(workers, hi-lo+1, func(i int) (MutexRun, error) {
+		run, err := RunMutex(cfg, lo+i, lockAddr)
+		if err != nil {
+			return run, fmt.Errorf("threads=%d: %w", lo+i, err)
+		}
+		return run, nil
+	})
+	if err != nil {
+		return out, err
+	}
+	out.Runs = runs
+	return out, nil
+}

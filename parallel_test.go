@@ -1,9 +1,11 @@
 package hmcsim
 
 import (
+	"bytes"
 	"testing"
 
 	"repro/internal/hmccmd"
+	"repro/internal/trace"
 )
 
 // TestParallelClockEquivalence: parallel vault servicing must produce
@@ -124,5 +126,43 @@ func TestParallelClockCMCSafety(t *testing.T) {
 		if blk.Lo != 1 || blk.Hi != uint64(i)+1 {
 			t.Errorf("lock %d state %+v", i, blk)
 		}
+	}
+}
+
+// TestParallelClockCMCHeavyTraced is the shared-state audit workload:
+// the full mutex algorithm (hot-spot CMC contention, spin traffic,
+// stateful lock block) under the parallel clock with every trace level
+// enabled, so concurrent vault workers hammer the tracer's Emit, the
+// CMC table and the sharded store at once. Run under -race it verifies
+// the documented synchronization story; in any mode it must still
+// reproduce the serial results exactly.
+func TestParallelClockCMCHeavyTraced(t *testing.T) {
+	runTraced := func(opts ...Option) (MutexRun, int) {
+		var buf bytes.Buffer
+		tracer := NewJSONLTracer(&buf, TraceAll)
+		opts = append(opts, WithTracer(tracer))
+		run, err := RunMutex(FourLink4GB(), 48, 0x40, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tracer.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		evs, err := trace.ParseJSONL(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return run, len(evs)
+	}
+	serial, serialEvents := runTraced()
+	parallel, parallelEvents := runTraced(WithParallelClock(8))
+	if serial != parallel {
+		t.Errorf("traced runs diverge:\nserial   %+v\nparallel %+v", serial, parallel)
+	}
+	if serialEvents != parallelEvents {
+		t.Errorf("trace event counts diverge: serial %d, parallel %d", serialEvents, parallelEvents)
+	}
+	if serialEvents == 0 {
+		t.Error("tracing produced no events")
 	}
 }

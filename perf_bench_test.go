@@ -1,0 +1,138 @@
+// Hot-path benchmarks for the simulator core. Unlike bench_test.go,
+// which regenerates the paper's tables and figures, these measure the
+// cost of the simulation machinery itself: one uncongested request
+// round trip per class (the execute path), a fully idle device cycle
+// (the idle-skipping path), and sweep-level wall time (the parallel
+// runner). scripts/bench.sh runs them with -benchmem and records the
+// results in BENCH_<date>.json; EXPERIMENTS.md tracks the trajectory.
+package hmcsim
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/hmccmd"
+)
+
+// benchDevice builds a quiet 4Link-4GB simulator for micro-benchmarks.
+func benchDevice(b *testing.B, cmcNames ...string) *Simulator {
+	b.Helper()
+	s, err := New(FourLink4GB())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range cmcNames {
+		if err := s.LoadCMC(name); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+// roundTrip submits one request and clocks until its response arrives.
+func roundTrip(b *testing.B, s *Simulator, link int, r *Rqst) *Rsp {
+	if err := s.Send(link, r); err != nil {
+		b.Fatal(err)
+	}
+	for c := 0; c < 16; c++ {
+		s.Clock()
+		if rsp, ok := s.Recv(link); ok {
+			return rsp
+		}
+	}
+	b.Fatal("no response within 16 cycles")
+	return nil
+}
+
+// BenchmarkClockLoopRead64 measures one uncongested RD64 round trip:
+// Send, three device cycles, Recv. The request packet is built once and
+// resubmitted so allocs/op isolates the device execute path — the
+// Flight, the DRAM access and the response construction.
+func BenchmarkClockLoopRead64(b *testing.B) {
+	s := benchDevice(b)
+	r, err := BuildRead(0, 0x1000, 1, 0, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		roundTrip(b, s, 0, r)
+	}
+}
+
+// BenchmarkClockLoopWrite64 measures one uncongested WR64 round trip.
+func BenchmarkClockLoopWrite64(b *testing.B) {
+	s := benchDevice(b)
+	r, err := BuildWrite(0, 0x2000, 2, 0, make([]uint64, 8), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		roundTrip(b, s, 0, r)
+	}
+}
+
+// BenchmarkClockLoopCMC measures a lock/unlock CMC pair against the
+// same block — the paper's mutex hot path (Algorithm 1) per-operation
+// cost, including the CMC dispatch and execute context.
+func BenchmarkClockLoopCMC(b *testing.B) {
+	s := benchDevice(b, "hmc_lock", "hmc_unlock")
+	lock, err := BuildCMC(hmccmd.CMC125, 0, 0x40, 3, 0, []uint64{7, 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	unlock, err := BuildCMC(hmccmd.CMC127, 0, 0x40, 3, 0, []uint64{7, 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		roundTrip(b, s, 0, lock)
+		roundTrip(b, s, 0, unlock)
+	}
+}
+
+// BenchmarkClockLoopIdle measures one device cycle with every queue
+// empty — the common case in the mutex workload's backoff phases and
+// the target of idle-vault skipping.
+func BenchmarkClockLoopIdle(b *testing.B) {
+	s := benchDevice(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Clock()
+	}
+}
+
+// benchSweepSpan keeps the sweep benchmarks short enough to iterate:
+// thread counts 2..16 against the 4Link-4GB preset.
+const (
+	benchSweepLo = 2
+	benchSweepHi = 16
+)
+
+// BenchmarkMutexSweepSerial measures the wall time of a small mutex
+// sweep run one thread-count at a time (the seed behaviour).
+func BenchmarkMutexSweepSerial(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MutexSweep(FourLink4GB(), benchSweepLo, benchSweepHi, 0x40); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMutexSweepParallel measures the same sweep spread across all
+// host cores.
+func BenchmarkMutexSweepParallel(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MutexSweepParallel(FourLink4GB(), benchSweepLo, benchSweepHi, 0x40, runtime.NumCPU()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

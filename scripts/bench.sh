@@ -1,0 +1,39 @@
+#!/usr/bin/env sh
+# Runs the hot-path benchmarks (perf_bench_test.go) with -benchmem and
+# records them as machine-readable JSON in BENCH_<date>.json, tracking
+# the performance trajectory across PRs. Compare against the table in
+# EXPERIMENTS.md ("Performance" section).
+#
+# Usage: ./scripts/bench.sh [extra go test args]
+set -eu
+
+cd "$(dirname "$0")/.."
+date="$(date +%F)"
+out="BENCH_${date}.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkClockLoop|BenchmarkMutexSweep' \
+    -benchmem -benchtime 1s "$@" . | tee "$raw"
+
+awk -v date="$date" '
+  /^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+      if ($(i+1) == "ns/op") ns = $i
+      if ($(i+1) == "B/op") bytes = $i
+      if ($(i+1) == "allocs/op") allocs = $i
+    }
+    line = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                   name, ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs)
+    lines[n++] = line
+  }
+  END {
+    printf "{\n  \"date\": \"%s\",\n  \"benchmarks\": [\n", date
+    for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "")
+    printf "  ]\n}\n"
+  }
+' "$raw" > "$out"
+
+echo "wrote $out"

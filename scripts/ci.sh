@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# CI gate: build, vet, full test suite, then the race detector over the
+# packages with concurrent hot paths (the parallel clock, the sharded
+# store, and the sim-layer composition of both).
+set -eux
+
+go build ./...
+go vet ./...
+go test ./...
+go test -race ./internal/device ./internal/mem ./internal/sim
+go test -race -run 'TestParallelClock|TestClockModeEquivalence' .
