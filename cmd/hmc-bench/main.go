@@ -9,6 +9,8 @@
 //	hmc-bench -out report.md  # report to a file
 //	hmc-bench -hi 50          # restrict the mutex sweep
 //	hmc-bench -workers 1      # serial mutex sweep (default: all cores)
+//	hmc-bench -cpuprofile cpu.pprof -memprofile mem.pprof
+//	                          # capture pprof profiles of the full run
 package main
 
 import (
@@ -16,6 +18,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	hmcsim "repro"
 	"repro/cmcops"
@@ -29,7 +33,21 @@ func main() {
 	lo := flag.Int("lo", 2, "mutex sweep: lowest thread count")
 	hi := flag.Int("hi", 100, "mutex sweep: highest thread count")
 	workers := flag.Int("workers", 0, "mutex sweep worker pool size (0 = one per host core, 1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	w := io.Writer(os.Stdout)
 	if *out != "" {
@@ -45,6 +63,18 @@ func main() {
 	}
 	if *out != "" {
 		fmt.Printf("wrote %s\n", *out)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC() // flush recent frees so the profile reflects live heap
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
 	}
 }
 

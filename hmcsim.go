@@ -147,17 +147,33 @@ var (
 	BuildWrite  = sim.BuildWrite
 	BuildAtomic = sim.BuildAtomic
 	BuildCMC    = sim.BuildCMC
-	// DecodeRqst and DecodeRsp parse wire-form packets.
-	DecodeRqst = packet.DecodeRqst
-	DecodeRsp  = packet.DecodeRsp
+	// DecodeRqst and DecodeRsp parse wire-form packets; the Into forms
+	// decode into a caller-reused packet without allocating.
+	DecodeRqst     = packet.DecodeRqst
+	DecodeRsp      = packet.DecodeRsp
+	DecodeRqstInto = packet.DecodeRqstInto
+	DecodeRspInto  = packet.DecodeRspInto
+	// ReleaseRsp returns a response from Recv to the packet pool
+	// (optional; unreleased responses are garbage collected).
+	ReleaseRsp = sim.ReleaseRsp
 )
+
+// ReqScratch is a reusable request builder for allocation-free
+// injection loops; see sim.ReqScratch. Simulator.SendWire and
+// Simulator.RecvWire provide the matching encoded-packet (hmcsim_send /
+// hmcsim_recv style) host interface.
+type ReqScratch = sim.ReqScratch
 
 // Trace sink constructors.
 var (
-	NewTextTracer   = trace.NewText
-	NewJSONLTracer  = trace.NewJSONL
-	NewRecorder     = trace.NewRecorder
-	ParseTraceLevel = trace.ParseLevel
+	NewTextTracer = trace.NewText
+	// NewBufferedTracer writes the TextTracer format through a
+	// preallocated buffer with no fmt on the hot path; call Flush when
+	// tracing is done.
+	NewBufferedTracer = trace.NewBuffered
+	NewJSONLTracer    = trace.NewJSONL
+	NewRecorder       = trace.NewRecorder
+	ParseTraceLevel   = trace.ParseLevel
 )
 
 // Trace levels.

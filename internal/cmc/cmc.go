@@ -138,6 +138,8 @@ type ExecContext struct {
 	RqstPayload []uint64
 	// RspPayload is the outgoing response data buffer, pre-sized to
 	// 2*(RspLen-1) words; the implementor fills any data it returns.
+	// Callers may supply a zeroed buffer of exactly that size to avoid
+	// the per-execute allocation; Execute replaces it otherwise.
 	RspPayload []uint64
 	// Mem is the in-situ memory of the executing vault's device.
 	Mem MemoryAccess
@@ -247,8 +249,11 @@ func (t *Table) Execute(code uint8, ctx *ExecContext) (*Slot, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: code %d", ErrInactive, code)
 	}
-	if s.Desc.RspLen > 1 {
-		ctx.RspPayload = make([]uint64, 2*(int(s.Desc.RspLen)-1))
+	// Reuse a caller-supplied zeroed response buffer of the right size
+	// (the vault hands in pooled packet payloads); allocate only when the
+	// caller didn't pre-size it.
+	if want := 2 * (int(s.Desc.RspLen) - 1); s.Desc.RspLen > 1 && len(ctx.RspPayload) != want {
+		ctx.RspPayload = make([]uint64, want)
 	}
 	if err := s.Op.Execute(ctx); err != nil {
 		return s, fmt.Errorf("cmc: %s execute: %w", s.Desc.OpName, err)

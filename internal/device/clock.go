@@ -54,8 +54,9 @@ func (d *Device) responsePhase() {
 			}
 		}
 	}
-	for li, l := range d.links {
-		q := d.xbar.rsp[li]
+	for li := range d.links {
+		l := &d.links[li]
+		q := &d.xbar.rsp[li]
 		budget := d.Cfg.LinkFlitsPerCycle
 		for {
 			f, ok := q.Peek()
@@ -86,7 +87,7 @@ func (d *Device) responsePhase() {
 // drainVaultRsp moves vault i's queued responses into the crossbar until
 // the queue empties (clearing its dirty bit) or the port fills.
 func (d *Device) drainVaultRsp(i int) {
-	v := d.vaults[i]
+	v := &d.vaults[i]
 	for {
 		f, ok := v.rsp.Peek()
 		if !ok {
@@ -172,7 +173,7 @@ func (d *Device) executePhase() {
 		}
 		if workers <= 1 {
 			for _, i := range active {
-				d.execVault(d.vaults[i], &d.stats)
+				d.execVault(&d.vaults[i], &d.stats)
 			}
 		} else {
 			d.execParallel(workers)
@@ -183,7 +184,7 @@ func (d *Device) executePhase() {
 	// queues the workers drained/filled, and recycle flights retired
 	// without a response (posted and flow commands).
 	for _, i := range active {
-		v := d.vaults[i]
+		v := &d.vaults[i]
 		if v.rqst.Empty() {
 			clearBit(d.vaultRqstMask, i)
 		}
@@ -191,6 +192,9 @@ func (d *Device) executePhase() {
 			setBit(d.vaultRspMask, i)
 		}
 		for _, f := range v.dead {
+			if f.Rqst != nil {
+				d.putRqst(f.Rqst)
+			}
 			d.putFlight(f)
 		}
 		clear(v.dead)
@@ -223,7 +227,7 @@ func (d *Device) execParallel(workers int) {
 		go func(part []int, st *Stats) {
 			defer wg.Done()
 			for _, i := range part {
-				d.execVault(d.vaults[i], st)
+				d.execVault(&d.vaults[i], st)
 			}
 		}(active[lo:hi], &partials[w])
 	}
@@ -238,8 +242,9 @@ func (d *Device) execParallel(workers int) {
 // queues into the target vault request queues (routing on the address's
 // vault field). Link order gives deterministic arbitration.
 func (d *Device) requestPhase() {
-	for li, l := range d.links {
-		q := d.xbar.rqst[li]
+	for li := range d.links {
+		l := &d.links[li]
+		q := &d.xbar.rqst[li]
 		budget := d.Cfg.LinkFlitsPerCycle
 		for {
 			f, ok := l.rqst.Peek()
@@ -265,7 +270,7 @@ func (d *Device) requestPhase() {
 		}
 	}
 	for li := range d.links {
-		q := d.xbar.rqst[li]
+		q := &d.xbar.rqst[li]
 		for {
 			f, ok := q.Peek()
 			if !ok {
@@ -280,7 +285,7 @@ func (d *Device) requestPhase() {
 			if vi < 0 || vi >= len(d.vaults) {
 				vi = 0
 			}
-			vault := d.vaults[vi]
+			vault := &d.vaults[vi]
 			if err := vault.rqst.Push(f); err != nil {
 				// Full vault queue: strict FIFO per crossbar port means
 				// head-of-line blocking — the source of the 4Link/8Link
@@ -309,21 +314,22 @@ func (d *Device) requestPhase() {
 // sampling everything.
 func (d *Device) samplePhase() {
 	if d.ForceWalk {
-		for _, l := range d.links {
-			l.rqst.Sample()
-			l.rsp.Sample()
+		for i := range d.links {
+			d.links[i].rqst.Sample()
+			d.links[i].rsp.Sample()
 		}
 		for li := range d.links {
 			d.xbar.rqst[li].Sample()
 			d.xbar.rsp[li].Sample()
 		}
-		for _, v := range d.vaults {
-			v.rqst.Sample()
-			v.rsp.Sample()
+		for i := range d.vaults {
+			d.vaults[i].rqst.Sample()
+			d.vaults[i].rsp.Sample()
 		}
 		return
 	}
-	for _, l := range d.links {
+	for i := range d.links {
+		l := &d.links[i]
 		if !l.rqst.Empty() {
 			l.rqst.Sample()
 		}
@@ -332,10 +338,10 @@ func (d *Device) samplePhase() {
 		}
 	}
 	for li := range d.links {
-		if q := d.xbar.rqst[li]; !q.Empty() {
+		if q := &d.xbar.rqst[li]; !q.Empty() {
 			q.Sample()
 		}
-		if q := d.xbar.rsp[li]; !q.Empty() {
+		if q := &d.xbar.rsp[li]; !q.Empty() {
 			q.Sample()
 		}
 	}

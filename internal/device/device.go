@@ -182,9 +182,9 @@ type Device struct {
 	// Cfg is the validated device configuration.
 	Cfg config.Config
 
-	links  []*Link
-	xbar   *Crossbar
-	vaults []*Vault
+	links  []Link
+	xbar   Crossbar
+	vaults []Vault
 	regs   *RegFile
 
 	amap   *addr.Map
@@ -218,11 +218,15 @@ type Device struct {
 	// for debugging.
 	ForceWalk bool
 
-	// flightPool recycles Flight envelopes: Send draws from it, Recv and
-	// the post-execute pass return to it. It is touched only from the
-	// host goroutine (Send/Recv/Clock), never from execute-phase
-	// workers, so it needs no lock.
+	// flightPool recycles Flight envelopes and rqstPool recycles the
+	// device-owned request packets they carry: Send draws from both (it
+	// adopts the caller's request by deep copy, so the caller may reuse
+	// its buffers immediately), Recv and the post-execute pass return to
+	// them. Both are touched only from the host goroutine
+	// (Send/Recv/Clock), never from execute-phase workers, so they need
+	// no lock. Misses allocate in chunks to amortize warm-up.
 	flightPool []*Flight
+	rqstPool   []*packet.Rqst
 
 	// vaultRqstMask and vaultRspMask are bitsets of vaults whose request
 	// (resp. response) queues are non-empty, maintained at push/pop so
@@ -255,7 +259,6 @@ func New(id int, cfg config.Config, tracer trace.Tracer) (*Device, error) {
 	d := &Device{
 		ID:   id,
 		Cfg:  cfg,
-		xbar: newCrossbar(cfg),
 		regs: newRegFile(cfg),
 		amap: amap,
 		// Shard the page table on the vault bits of the address map:
@@ -266,33 +269,51 @@ func New(id int, cfg config.Config, tracer trace.Tracer) (*Device, error) {
 		tracer: tracer,
 	}
 	d.amoU = amo.New(d.store)
-	d.links = make([]*Link, cfg.Links)
-	for i := range d.links {
-		d.links[i] = newLink(i, cfg.LinkDepth)
+	// Carve every queue ring buffer of the device — two per link, two
+	// per crossbar port, two per vault — from one flat backing array,
+	// and every bank from another, so construction cost stays flat as
+	// the structure count grows (sweeps build thousands of devices).
+	backing := make([]*Flight, 2*cfg.Links*(cfg.LinkDepth+cfg.XbarDepth)+2*cfg.Vaults*cfg.QueueDepth)
+	carve := func(n int) []*Flight {
+		b := backing[:n:n]
+		backing = backing[n:]
+		return b
 	}
-	d.vaults = make([]*Vault, cfg.Vaults)
+	d.links = make([]Link, cfg.Links)
+	for i := range d.links {
+		d.links[i].init(i, cfg.LinkDepth, carve)
+	}
+	d.xbar.init(cfg, carve)
+	bankBacking := make([]Bank, cfg.Vaults*cfg.BanksPerVault)
+	d.vaults = make([]Vault, cfg.Vaults)
 	for i := range d.vaults {
-		d.vaults[i] = newVault(i, cfg)
+		banks := bankBacking[i*cfg.BanksPerVault : (i+1)*cfg.BanksPerVault]
+		d.vaults[i].init(i, cfg, banks, carve)
 	}
 	d.vaultRqstMask = make([]uint64, (cfg.Vaults+63)/64)
 	d.vaultRspMask = make([]uint64, (cfg.Vaults+63)/64)
 	d.execScratch = make([]int, 0, cfg.Vaults)
 	// Tie every queue's sample count to the cycle counter so the sample
 	// phase may skip empty queues without perturbing the statistics.
-	for _, l := range d.links {
-		l.rqst.SetSampleBase(&d.stats.Cycles)
-		l.rsp.SetSampleBase(&d.stats.Cycles)
+	for i := range d.links {
+		d.links[i].rqst.SetSampleBase(&d.stats.Cycles)
+		d.links[i].rsp.SetSampleBase(&d.stats.Cycles)
 	}
 	for i := range d.xbar.rqst {
 		d.xbar.rqst[i].SetSampleBase(&d.stats.Cycles)
 		d.xbar.rsp[i].SetSampleBase(&d.stats.Cycles)
 	}
-	for _, v := range d.vaults {
-		v.rqst.SetSampleBase(&d.stats.Cycles)
-		v.rsp.SetSampleBase(&d.stats.Cycles)
+	for i := range d.vaults {
+		d.vaults[i].rqst.SetSampleBase(&d.stats.Cycles)
+		d.vaults[i].rsp.SetSampleBase(&d.stats.Cycles)
 	}
 	return d, nil
 }
+
+// poolChunk is how many Flights or Rqsts a pool miss materializes at
+// once; chunking cuts warm-up allocations without holding excess memory
+// (a chunk is ~1-2 KB).
+const poolChunk = 16
 
 // getFlight draws a Flight envelope from the device free list.
 func (d *Device) getFlight() *Flight {
@@ -301,13 +322,40 @@ func (d *Device) getFlight() *Flight {
 		d.flightPool = d.flightPool[:n-1]
 		return f
 	}
-	return &Flight{}
+	chunk := make([]Flight, poolChunk)
+	for i := 1; i < len(chunk); i++ {
+		d.flightPool = append(d.flightPool, &chunk[i])
+	}
+	return &chunk[0]
 }
 
-// putFlight clears and recycles a Flight envelope.
+// putFlight clears and recycles a Flight envelope. The caller recycles
+// any attached Rqst first; the Rsp belongs to the host by then.
 func (d *Device) putFlight(f *Flight) {
 	*f = Flight{}
 	d.flightPool = append(d.flightPool, f)
+}
+
+// getRqst draws a device-owned request packet from the free list. The
+// packet's stale fields are fully overwritten by CopyFrom at the only
+// call site, so no clearing happens here.
+func (d *Device) getRqst() *packet.Rqst {
+	if n := len(d.rqstPool); n > 0 {
+		r := d.rqstPool[n-1]
+		d.rqstPool = d.rqstPool[:n-1]
+		return r
+	}
+	chunk := make([]packet.Rqst, poolChunk)
+	for i := 1; i < len(chunk); i++ {
+		d.rqstPool = append(d.rqstPool, &chunk[i])
+	}
+	return &chunk[0]
+}
+
+// putRqst recycles a device-owned request packet, keeping its payload
+// backing array for the next adoption.
+func (d *Device) putRqst(r *packet.Rqst) {
+	d.rqstPool = append(d.rqstPool, r)
 }
 
 // Store exposes the device's backing memory for host-side initialization
@@ -335,7 +383,7 @@ func (d *Device) Link(i int) (*Link, error) {
 	if i < 0 || i >= len(d.links) {
 		return nil, fmt.Errorf("%w: %d", ErrBadLink, i)
 	}
-	return d.links[i], nil
+	return &d.links[i], nil
 }
 
 // Vault returns the vault model for stats inspection.
@@ -343,14 +391,19 @@ func (d *Device) Vault(i int) (*Vault, error) {
 	if i < 0 || i >= len(d.vaults) {
 		return nil, fmt.Errorf("device: invalid vault index %d", i)
 	}
-	return d.vaults[i], nil
+	return &d.vaults[i], nil
 }
 
 // Xbar returns the crossbar model for stats inspection.
-func (d *Device) Xbar() *Crossbar { return d.xbar }
+func (d *Device) Xbar() *Crossbar { return &d.xbar }
 
 // Send submits a decoded request on a host link. A full link queue
 // returns ErrStall. The request's CUB must address this device.
+//
+// The device adopts the request by deep copy into a pooled packet, so
+// the caller keeps ownership of r and its payload and may reuse both as
+// soon as Send returns — the contract the workload layer's per-thread
+// request scratch relies on.
 func (d *Device) Send(link int, r *packet.Rqst) error {
 	if link < 0 || link >= len(d.links) {
 		return fmt.Errorf("%w: %d", ErrBadLink, link)
@@ -359,8 +412,11 @@ func (d *Device) Send(link int, r *packet.Rqst) error {
 		return fmt.Errorf("%w: CUB %d on device %d", ErrWrongCUB, r.CUB, d.ID)
 	}
 	f := d.getFlight()
-	f.Rqst, f.Link, f.SendCycle = r, link, d.cycle
+	adopted := d.getRqst()
+	adopted.CopyFrom(r)
+	f.Rqst, f.Link, f.SendCycle = adopted, link, d.cycle
 	if err := d.links[link].rqst.Push(f); err != nil {
+		d.putRqst(adopted)
 		d.putFlight(f)
 		d.stats.SendStalls++
 		if d.tracer.Enabled(trace.LevelStall) {
@@ -378,6 +434,10 @@ func (d *Device) Send(link int, r *packet.Rqst) error {
 
 // Recv pops the next available response from a host link; ok is false
 // when the link response queue is empty.
+//
+// The returned response belongs to the host. Callers in steady-state
+// loops should hand it back via packet.PutRsp (sim.ReleaseRsp) once
+// consumed; callers that don't simply let the GC take it.
 func (d *Device) Recv(link int) (*packet.Rsp, bool) {
 	if link < 0 || link >= len(d.links) {
 		return nil, false
@@ -395,8 +455,47 @@ func (d *Device) Recv(link int) (*packet.Rsp, bool) {
 			Value: d.cycle - f.SendCycle, Detail: "round-trip cycles at recv",
 		})
 	}
-	// The response packet belongs to the host now; only the Flight
-	// envelope is recycled.
+	// The adopted request and the Flight envelope return to the device
+	// pools; the response packet belongs to the host now.
+	if f.Rqst != nil {
+		d.putRqst(f.Rqst)
+	}
 	d.putFlight(f)
 	return rsp, true
+}
+
+// SendWire submits a request in its encoded wire form — the []uint64
+// packet buffer of the original C API (hmcsim_send). The packet is
+// validated (length, CRC, command) and decoded into the link's scratch
+// request without allocating, then follows the normal Send path.
+func (d *Device) SendWire(link int, words []uint64) error {
+	if link < 0 || link >= len(d.links) {
+		return fmt.Errorf("%w: %d", ErrBadLink, link)
+	}
+	l := &d.links[link]
+	if err := packet.DecodeRqstInto(&l.wireRqst, words); err != nil {
+		return err
+	}
+	return d.Send(link, &l.wireRqst)
+}
+
+// RecvWire pops the next available response from a host link in its
+// encoded wire form (hmcsim_recv). The returned slice is the link's
+// scratch FLIT buffer: it is valid until the next RecvWire on the same
+// link, and the response packet itself is recycled immediately.
+func (d *Device) RecvWire(link int) ([]uint64, bool) {
+	rsp, ok := d.Recv(link)
+	if !ok {
+		return nil, false
+	}
+	l := &d.links[link]
+	words, err := rsp.EncodeInto(l.wire)
+	packet.PutRsp(rsp)
+	if err != nil {
+		// Responses are device-built and always encodable; a failure here
+		// is a programming error.
+		panic(fmt.Sprintf("device: RecvWire encode: %v", err))
+	}
+	l.wire = words
+	return words, true
 }

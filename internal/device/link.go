@@ -1,6 +1,9 @@
 package device
 
-import "repro/internal/queue"
+import (
+	"repro/internal/packet"
+	"repro/internal/queue"
+)
 
 // Link models one host-facing HMC link: a request queue carrying packets
 // into the device and a response queue carrying packets back to the host.
@@ -9,12 +12,16 @@ import "repro/internal/queue"
 // devices are chained (the 1.0 chaining feature, routed by the topology
 // layer above the device); the device model itself is agnostic — both
 // kinds of traffic enter through the same queues.
+//
+// Links are embedded by value in the device, with their queue ring
+// buffers carved from one device-wide backing array (see device.New), so
+// building a device costs O(1) allocations regardless of link count.
 type Link struct {
 	// ID is the link index, matching the SLID field of packets that enter
 	// on it.
 	ID   int
-	rqst *queue.Queue[*Flight]
-	rsp  *queue.Queue[*Flight]
+	rqst queue.Queue[*Flight]
+	rsp  queue.Queue[*Flight]
 
 	// Retry-protocol state (per direction): traversal counters drive the
 	// deterministic fault injector, and retryUntil parks the head packet
@@ -23,14 +30,19 @@ type Link struct {
 	rqstRetryUntil, rspRetryUntil uint64
 	// Retries counts completed retry sequences on this link.
 	Retries uint64
+
+	// wire is the link's scratch FLIT buffer for the wire-level host API
+	// (SendWire/RecvWire): encoded packets land here so the codec runs
+	// without per-packet buffer allocation.
+	wire []uint64
+	// wireRqst is the link's scratch decode target for SendWire.
+	wireRqst packet.Rqst
 }
 
-func newLink(id, depth int) *Link {
-	return &Link{
-		ID:   id,
-		rqst: queue.New[*Flight](depth),
-		rsp:  queue.New[*Flight](depth),
-	}
+func (l *Link) init(id, depth int, carve func(int) []*Flight) {
+	l.ID = id
+	l.rqst.InitWithBuf(carve(depth))
+	l.rsp.InitWithBuf(carve(depth))
 }
 
 // RqstStats returns the request queue statistics.

@@ -29,15 +29,16 @@ type Report struct {
 func (d *Device) BuildReport() Report {
 	r := Report{Dev: d.ID, Cycles: d.cycle, Stats: d.stats}
 	r.VaultOps = make([]uint64, len(d.vaults))
-	for i, v := range d.vaults {
-		r.VaultOps[i] = v.RqstStats().Pops
-		if occ := v.RqstStats().MaxOccupancy; occ > r.MaxVaultQueue {
-			r.MaxVaultQueue = occ
+	for i := range d.vaults {
+		st := d.vaults[i].RqstStats()
+		r.VaultOps[i] = st.Pops
+		if st.MaxOccupancy > r.MaxVaultQueue {
+			r.MaxVaultQueue = st.MaxOccupancy
 		}
 	}
 	var sum float64
-	for _, l := range d.links {
-		sum += l.RqstStats().AvgOccupancy()
+	for i := range d.links {
+		sum += d.links[i].RqstStats().AvgOccupancy()
 	}
 	if len(d.links) > 0 {
 		r.AvgLinkRqstOcc = sum / float64(len(d.links))

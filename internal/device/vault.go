@@ -28,11 +28,15 @@ type Bank struct {
 
 // Vault is one vault controller: a request queue feeding banked DRAM and
 // a response queue draining to the crossbar.
+//
+// Vaults are embedded by value in the device; their queue ring buffers
+// and bank arrays are carved from device-wide backing arrays (device.New)
+// so construction stays allocation-light at any vault count.
 type Vault struct {
 	// ID is the device-global vault index; Quad is its quadrant.
 	ID, Quad int
-	rqst     *queue.Queue[*Flight]
-	rsp      *queue.Queue[*Flight]
+	rqst     queue.Queue[*Flight]
+	rsp      queue.Queue[*Flight]
 	banks    []Bank
 
 	// ctxScratch is the reusable CMC execute context for this vault.
@@ -45,14 +49,12 @@ type Vault struct {
 	dead []*Flight
 }
 
-func newVault(id int, cfg config.Config) *Vault {
-	return &Vault{
-		ID:    id,
-		Quad:  id / cfg.VaultsPerQuad(),
-		rqst:  queue.New[*Flight](cfg.QueueDepth),
-		rsp:   queue.New[*Flight](cfg.QueueDepth),
-		banks: make([]Bank, cfg.BanksPerVault),
-	}
+func (v *Vault) init(id int, cfg config.Config, banks []Bank, carve func(int) []*Flight) {
+	v.ID = id
+	v.Quad = id / cfg.VaultsPerQuad()
+	v.rqst.InitWithBuf(carve(cfg.QueueDepth))
+	v.rsp.InitWithBuf(carve(cfg.QueueDepth))
+	v.banks = banks
 }
 
 // RqstStats returns the request queue statistics.
@@ -153,7 +155,8 @@ func (d *Device) execVault(v *Vault, st *Stats) {
 			continue
 		}
 		f.Rsp = rsp
-		f.Rqst = nil
+		// f.Rqst stays attached so Recv can recycle the adopted request
+		// into the device pool along with the envelope.
 		// Space was checked above; a failed push here is a programming
 		// error surfaced by queue stats in tests.
 		_ = v.rsp.Push(f)
@@ -221,15 +224,15 @@ func (d *Device) executeRqst(v *Vault, f *Flight, info *hmccmd.Info, loc addr.Lo
 
 	switch info.Class {
 	case hmccmd.ClassRead:
-		// Zero-copy datapath: one exact-size payload allocation filled
-		// straight from the page bytes (DataBytes/8 always equals the
-		// 2*(RspFlits-1) words the response carries, so dataRsp never
-		// re-pads it).
-		payload := make([]uint64, int(info.DataBytes)/8)
-		if err := d.store.ReadWords(r.ADRS, payload); err != nil {
+		// Zero-copy datapath: the pooled response payload (DataBytes/8
+		// always equals the 2*(RspFlits-1) words the response carries) is
+		// filled straight from the page bytes.
+		rsp := d.dataRsp(f, info.Rsp, info.RspFlits, nil, false)
+		if err := d.store.ReadWords(r.ADRS, rsp.Payload); err != nil {
+			packet.PutRsp(rsp)
 			return d.errorRsp(f, ErrstatBadAddr, st)
 		}
-		return d.dataRsp(f, info.Rsp, info.RspFlits, payload, false)
+		return rsp
 
 	case hmccmd.ClassWrite, hmccmd.ClassPostedWrite:
 		// Zero-copy datapath: payload words land directly in the page,
@@ -254,13 +257,7 @@ func (d *Device) executeRqst(v *Vault, f *Flight, info *hmccmd.Info, loc addr.Lo
 		if info.Class == hmccmd.ClassPostedAtomic {
 			return nil
 		}
-		payload := res.Payload
-		if want := 2 * (int(info.RspFlits) - 1); len(payload) != want {
-			padded := make([]uint64, want)
-			copy(padded, payload)
-			payload = padded
-		}
-		return d.dataRsp(f, info.Rsp, info.RspFlits, payload, res.DINV)
+		return d.dataRsp(f, info.Rsp, info.RspFlits, res.Payload, res.DINV)
 	}
 	return d.errorRsp(f, ErrstatInternal, st)
 }
@@ -271,14 +268,23 @@ func (d *Device) executeRqst(v *Vault, f *Flight, info *hmccmd.Info, loc addr.Lo
 // traced under the op's registered name.
 func (d *Device) executeCMC(v *Vault, f *Flight, loc addr.Location, locErr error, st *Stats) *packet.Rsp {
 	r := f.Rqst
-	if _, ok := d.cmcTab.Slot(r.Cmd.Code()); !ok {
+	slot, ok := d.cmcTab.Slot(r.Cmd.Code())
+	if !ok {
 		return d.errorRsp(f, ErrstatInactiveCMC, st)
 	}
 	if locErr != nil {
 		return d.errorRsp(f, ErrstatBadAddr, st)
 	}
+	// Draw the response (and its zeroed payload buffer, which the execute
+	// context fills in place) from the packet pool before dispatch; the
+	// table reuses a pre-sized RspPayload instead of allocating.
+	desc := slot.Desc
+	var rsp *packet.Rsp
+	if desc.RspLen > 0 {
+		rsp = packet.GetRsp(2 * (int(desc.RspLen) - 1))
+	}
 	// Reuse the vault's scratch context: only this vault's worker
-	// touches it, and the table allocates RspPayload fresh per execute.
+	// touches it.
 	ctx := &v.ctxScratch
 	*ctx = cmc.ExecContext{
 		Dev:         uint32(d.ID),
@@ -293,8 +299,12 @@ func (d *Device) executeCMC(v *Vault, f *Flight, loc addr.Location, locErr error
 		Mem:         d.store,
 		Cycle:       d.cycle,
 	}
+	if rsp != nil {
+		ctx.RspPayload = rsp.Payload
+	}
 	slot2, err := d.cmcTab.Execute(r.Cmd.Code(), ctx)
 	if err != nil {
+		packet.PutRsp(rsp)
 		if errors.Is(err, cmc.ErrInactive) {
 			return d.errorRsp(f, ErrstatInactiveCMC, st)
 		}
@@ -308,18 +318,16 @@ func (d *Device) executeCMC(v *Vault, f *Flight, loc addr.Location, locErr error
 			Cmd: slot2.Op.Str(), Tag: r.TAG, Addr: r.ADRS,
 		})
 	}
-	desc := slot2.Desc
-	if desc.RspLen == 0 {
+	if rsp == nil {
 		return nil // posted CMC operation
 	}
-	rsp := &packet.Rsp{
-		Cmd:     desc.RspCmd,
-		CUB:     uint8(d.ID),
-		TAG:     r.TAG,
-		LNG:     desc.RspLen,
-		SLID:    r.SLID,
-		Payload: ctx.RspPayload,
-	}
+	rsp.Cmd = desc.RspCmd
+	rsp.CUB = uint8(d.ID)
+	rsp.TAG = r.TAG
+	rsp.LNG = desc.RspLen
+	rsp.SLID = r.SLID
+	// An operation may have swapped in its own payload buffer; honor it.
+	rsp.Payload = ctx.RspPayload
 	if desc.RspCmd == hmccmd.RspCMC {
 		rsp.CmdCode = desc.RspCmdCode
 	} else if code, ok := desc.RspCmd.Code(); ok {
@@ -339,7 +347,9 @@ func (d *Device) executeMode(f *Flight, st *Stats) *packet.Rsp {
 		if err != nil {
 			return d.errorRsp(f, ErrstatBadAddr, st)
 		}
-		return d.dataRsp(f, hmccmd.MdRdRS, r.Cmd.Info().RspFlits, []uint64{val, 0}, false)
+		rsp := d.dataRsp(f, hmccmd.MdRdRS, r.Cmd.Info().RspFlits, nil, false)
+		rsp.Payload[0] = val
+		return rsp
 	case hmccmd.MDWR:
 		if err := d.regs.Write(reg, r.Payload[0]); err != nil {
 			return d.errorRsp(f, ErrstatBadAddr, st)
@@ -364,23 +374,19 @@ func (d *Device) blockViolation(r *packet.Rqst, info *hmccmd.Info) bool {
 	return r.ADRS%block+n > block
 }
 
-// dataRsp builds a success response.
+// dataRsp builds a success response around a pooled packet whose zeroed
+// payload is sized to the response length; a non-nil payload argument is
+// copied in (and zero-padded by construction when shorter).
 func (d *Device) dataRsp(f *Flight, cmd hmccmd.Resp, flits uint8, payload []uint64, dinv bool) *packet.Rsp {
 	r := f.Rqst
-	if want := 2 * (int(flits) - 1); len(payload) != want {
-		padded := make([]uint64, want)
-		copy(padded, payload)
-		payload = padded
-	}
-	rsp := &packet.Rsp{
-		Cmd:     cmd,
-		CUB:     uint8(d.ID),
-		TAG:     r.TAG,
-		LNG:     flits,
-		SLID:    r.SLID,
-		DINV:    dinv,
-		Payload: payload,
-	}
+	rsp := packet.GetRsp(2 * (int(flits) - 1))
+	copy(rsp.Payload, payload)
+	rsp.Cmd = cmd
+	rsp.CUB = uint8(d.ID)
+	rsp.TAG = r.TAG
+	rsp.LNG = flits
+	rsp.SLID = r.SLID
+	rsp.DINV = dinv
 	if code, ok := cmd.Code(); ok {
 		rsp.CmdCode = code
 	}
@@ -392,15 +398,15 @@ func (d *Device) errorRsp(f *Flight, errstat uint8, st *Stats) *packet.Rsp {
 	st.ErrResponses++
 	r := f.Rqst
 	code, _ := hmccmd.RspError.Code()
-	return &packet.Rsp{
-		Cmd:     hmccmd.RspError,
-		CmdCode: code,
-		CUB:     uint8(d.ID),
-		TAG:     r.TAG,
-		LNG:     1,
-		SLID:    r.SLID,
-		DINV:    true,
-		ERRSTAT: errstat,
-	}
+	rsp := packet.GetRsp(0)
+	rsp.Cmd = hmccmd.RspError
+	rsp.CmdCode = code
+	rsp.CUB = uint8(d.ID)
+	rsp.TAG = r.TAG
+	rsp.LNG = 1
+	rsp.SLID = r.SLID
+	rsp.DINV = true
+	rsp.ERRSTAT = errstat
+	return rsp
 }
 

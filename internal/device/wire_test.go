@@ -1,0 +1,112 @@
+package device
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/hmccmd"
+	"repro/internal/packet"
+)
+
+// wireRoundTrip drives one encoded request through SendWire/RecvWire.
+func wireRoundTrip(t *testing.T, d *Device, link int, words []uint64) []uint64 {
+	t.Helper()
+	if err := d.SendWire(link, words); err != nil {
+		t.Fatalf("SendWire: %v", err)
+	}
+	for c := 0; c < 16; c++ {
+		d.Clock()
+		if rsp, ok := d.RecvWire(link); ok {
+			return rsp
+		}
+	}
+	t.Fatal("no wire response within 16 cycles")
+	return nil
+}
+
+// TestWireRoundTrip drives the hmcsim_send/hmcsim_recv-style wire API:
+// encoded request words in, encoded response words out, and the decoded
+// response must carry the written data back.
+func TestWireRoundTrip(t *testing.T) {
+	d, err := New(0, config.FourLink4GB(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr := &packet.Rqst{Cmd: hmccmd.WR16, ADRS: 0x200, TAG: 9, Payload: []uint64{0xABCD, 0x1234}}
+	wrWords, err := wr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrRsp, err := packet.DecodeRsp(wireRoundTrip(t, d, 0, wrWords))
+	if err != nil {
+		t.Fatalf("decode write response: %v", err)
+	}
+	if wrRsp.Cmd != hmccmd.WrRS || wrRsp.TAG != 9 || wrRsp.ERRSTAT != 0 {
+		t.Fatalf("write response: %+v", wrRsp)
+	}
+
+	rd := &packet.Rqst{Cmd: hmccmd.RD16, ADRS: 0x200, TAG: 10}
+	rdWords, err := rd.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdRsp, err := packet.DecodeRsp(wireRoundTrip(t, d, 0, rdWords))
+	if err != nil {
+		t.Fatalf("decode read response: %v", err)
+	}
+	if rdRsp.TAG != 10 || len(rdRsp.Payload) != 2 ||
+		rdRsp.Payload[0] != 0xABCD || rdRsp.Payload[1] != 0x1234 {
+		t.Fatalf("read response: %+v", rdRsp)
+	}
+}
+
+// TestWireRejectsCorruptPackets checks that SendWire validates the CRC
+// before anything enters the device.
+func TestWireRejectsCorruptPackets(t *testing.T) {
+	d, err := New(0, config.FourLink4GB(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words, err := (&packet.Rqst{Cmd: hmccmd.RD16, ADRS: 0x100, TAG: 1}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	words[0] ^= 1 << 30 // flip an ADRS bit; the CRC no longer matches
+	if err := d.SendWire(0, words); !errors.Is(err, packet.ErrBadCRC) {
+		t.Fatalf("SendWire on corrupt packet: %v, want ErrBadCRC", err)
+	}
+	if err := d.SendWire(0, nil); !errors.Is(err, packet.ErrNilPacket) {
+		t.Fatalf("SendWire(nil): %v, want ErrNilPacket", err)
+	}
+}
+
+// TestSendAdoptsRequest pins the adoption contract: mutating the caller's
+// request (and payload) immediately after Send must not affect the
+// packet the device executes.
+func TestSendAdoptsRequest(t *testing.T) {
+	d, err := New(0, config.FourLink4GB(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &packet.Rqst{Cmd: hmccmd.WR16, ADRS: 0x300, TAG: 5, Payload: []uint64{42, 43}}
+	if err := d.Send(0, r); err != nil {
+		t.Fatal(err)
+	}
+	// Scribble over everything the device might still be referencing.
+	r.ADRS = 0x9990
+	r.TAG = 77
+	r.Payload[0], r.Payload[1] = 0, 0
+	var rsp *packet.Rsp
+	for c := 0; c < 16 && rsp == nil; c++ {
+		d.Clock()
+		rsp, _ = d.Recv(0)
+	}
+	if rsp == nil || rsp.TAG != 5 || rsp.ERRSTAT != 0 {
+		t.Fatalf("write response: %+v", rsp)
+	}
+	v, err := d.Store().ReadUint64(0x300)
+	if err != nil || v != 42 {
+		t.Fatalf("memory at 0x300 = %d, %v; want 42", v, err)
+	}
+}

@@ -11,21 +11,22 @@ import (
 // queues of an 8-link device are the source of its extra buffering
 // capacity — the mechanism the paper credits for the 8Link device's
 // slightly better behaviour beyond fifty threads (§V-C).
+//
+// The queues are held by value with ring buffers carved from the
+// device-wide backing array; callers index them through pointers
+// (&x.rqst[i]) so statistics accumulate in place.
 type Crossbar struct {
-	rqst []*queue.Queue[*Flight]
-	rsp  []*queue.Queue[*Flight]
+	rqst []queue.Queue[*Flight]
+	rsp  []queue.Queue[*Flight]
 }
 
-func newCrossbar(cfg config.Config) *Crossbar {
-	x := &Crossbar{
-		rqst: make([]*queue.Queue[*Flight], cfg.Links),
-		rsp:  make([]*queue.Queue[*Flight], cfg.Links),
-	}
+func (x *Crossbar) init(cfg config.Config, carve func(int) []*Flight) {
+	x.rqst = make([]queue.Queue[*Flight], cfg.Links)
+	x.rsp = make([]queue.Queue[*Flight], cfg.Links)
 	for i := 0; i < cfg.Links; i++ {
-		x.rqst[i] = queue.New[*Flight](cfg.XbarDepth)
-		x.rsp[i] = queue.New[*Flight](cfg.XbarDepth)
+		x.rqst[i].InitWithBuf(carve(cfg.XbarDepth))
+		x.rsp[i].InitWithBuf(carve(cfg.XbarDepth))
 	}
-	return x
 }
 
 // RqstStats returns the request-queue statistics for one link port.

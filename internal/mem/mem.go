@@ -87,17 +87,16 @@ func NewSharded(capacity uint64, granuleBits, shardBits int) *Store {
 		(shardBits > 0 && BlockBytes > 1<<granuleBits) {
 		panic(fmt.Sprintf("mem: invalid shard geometry granuleBits=%d shardBits=%d", granuleBits, shardBits))
 	}
-	s := &Store{
+	// Shard page tables are created lazily on first write (reads of a nil
+	// map are legal and return the zero value), so a freshly built store
+	// costs one allocation regardless of shard count.
+	return &Store{
 		shards:      make([]shard, 1<<shardBits),
 		granuleBits: uint(granuleBits),
 		shardBits:   uint(shardBits),
 		shardMask:   1<<shardBits - 1,
 		capacity:    capacity,
 	}
-	for i := range s.shards {
-		s.shards[i].pages = make(map[uint64]*[PageBytes]byte)
-	}
-	return s
 }
 
 // Capacity returns the configured capacity in bytes.
@@ -176,6 +175,9 @@ func (sh *shard) write(local uint64, p []byte) {
 		n := min(len(p)-done, PageBytes-off)
 		page, ok := sh.pages[pageIdx]
 		if !ok {
+			if sh.pages == nil {
+				sh.pages = make(map[uint64]*[PageBytes]byte)
+			}
 			page = new([PageBytes]byte)
 			sh.pages[pageIdx] = page
 		}
@@ -197,6 +199,9 @@ func (sh *shard) ensurePage(local uint64) *[PageBytes]byte {
 	idx := local / PageBytes
 	page, ok := sh.pages[idx]
 	if !ok {
+		if sh.pages == nil {
+			sh.pages = make(map[uint64]*[PageBytes]byte)
+		}
 		page = new([PageBytes]byte)
 		sh.pages[idx] = page
 	}
@@ -407,7 +412,7 @@ func (s *Store) Reset() {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
-		sh.pages = make(map[uint64]*[PageBytes]byte)
+		sh.pages = nil
 		sh.mu.Unlock()
 	}
 }

@@ -1,41 +1,97 @@
 package packet
 
-import (
-	"encoding/binary"
-	"hash/crc32"
-)
-
 // The HMC specification protects every packet with a 32-bit CRC using the
 // Koopman polynomial (0x741B8CD7). The CRC is computed over the entire
 // packet, little-endian byte order, with the 32-bit CRC field of the tail
 // set to zero, and is stored in tail bits [63:32].
-var koopmanTable = crc32.MakeTable(crc32.Koopman)
+//
+// The packet wire form is a []uint64, so the hot path below consumes whole
+// words with a slicing-by-8 table set instead of marshalling each word to
+// bytes and feeding hash/crc32 one byte at a time. The result is bit
+// identical to crc32.Checksum with crc32.MakeTable(crc32.Koopman) over the
+// little-endian byte stream; crcReference pins that equivalence in tests.
+
+// koopmanPoly is the reversed (LSB-first) representation of the Koopman
+// polynomial, matching hash/crc32's crc32.Koopman constant.
+const koopmanPoly = 0xeb31d82e
+
+// crcTables holds the slicing-by-8 lookup tables. crcTables[0] is the
+// classic byte-at-a-time table; crcTables[k][b] extends it by k extra zero
+// bytes so eight table lookups advance the CRC by one 64-bit word.
+var crcTables = makeSlicingTables()
+
+func makeSlicingTables() *[8][256]uint32 {
+	var t [8][256]uint32
+	for i := 0; i < 256; i++ {
+		crc := uint32(i)
+		for j := 0; j < 8; j++ {
+			if crc&1 == 1 {
+				crc = crc>>1 ^ koopmanPoly
+			} else {
+				crc >>= 1
+			}
+		}
+		t[0][i] = crc
+	}
+	for i := 0; i < 256; i++ {
+		crc := t[0][i]
+		for k := 1; k < 8; k++ {
+			crc = t[0][crc&0xFF] ^ crc>>8
+			t[k][i] = crc
+		}
+	}
+	return &t
+}
+
+// crcWord folds one little-endian 64-bit word into the running CRC state
+// (inverted form) with eight parallel table lookups.
+func crcWord(crc uint32, w uint64) uint32 {
+	t := crcTables
+	lo := crc ^ uint32(w)
+	hi := uint32(w >> 32)
+	return t[7][lo&0xFF] ^ t[6][lo>>8&0xFF] ^ t[5][lo>>16&0xFF] ^ t[4][lo>>24] ^
+		t[3][hi&0xFF] ^ t[2][hi>>8&0xFF] ^ t[1][hi>>16&0xFF] ^ t[0][hi>>24]
+}
 
 // packetCRC computes the packet CRC over the word-level wire form. The
 // caller must pass the packet with the tail CRC field still zero.
 func packetCRC(words []uint64) uint32 {
-	var buf [8]byte
-	crc := uint32(0)
+	crc := ^uint32(0)
 	for _, w := range words {
-		binary.LittleEndian.PutUint64(buf[:], w)
-		crc = crc32.Update(crc, koopmanTable, buf[:])
+		crc = crcWord(crc, w)
 	}
-	return crc
+	return ^crc
 }
 
 // crcWithTailZeroed computes the packet CRC of an encoded packet whose
 // tail already carries a CRC, by zeroing the CRC field for the
 // computation.
 func crcWithTailZeroed(words []uint64) uint32 {
-	var buf [8]byte
-	crc := uint32(0)
 	last := len(words) - 1
-	for i, w := range words {
-		if i == last {
-			w &= 0x00000000FFFFFFFF
-		}
-		binary.LittleEndian.PutUint64(buf[:], w)
-		crc = crc32.Update(crc, koopmanTable, buf[:])
+	crc := ^uint32(0)
+	for _, w := range words[:last] {
+		crc = crcWord(crc, w)
 	}
-	return crc
+	crc = crcWord(crc, words[last]&0x00000000FFFFFFFF)
+	return ^crc
+}
+
+// crcReference is the bitwise (one bit per step) CRC-32K over the same
+// little-endian byte stream. It exists so tests can pin the table-driven
+// implementation against first principles; it is never on the hot path.
+func crcReference(words []uint64) uint32 {
+	crc := ^uint32(0)
+	for _, w := range words {
+		for byteIdx := 0; byteIdx < 8; byteIdx++ {
+			crc ^= uint32(w >> (8 * byteIdx) & 0xFF)
+			for bit := 0; bit < 8; bit++ {
+				if crc&1 == 1 {
+					crc = crc>>1 ^ koopmanPoly
+				} else {
+					crc >>= 1
+				}
+			}
+		}
+	}
+	return ^crc
 }

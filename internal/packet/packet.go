@@ -187,9 +187,18 @@ func (r *Rqst) EncodeTail() uint64 {
 	return t
 }
 
-// Encode serializes the request into its word-level wire form:
-// [header, payload..., tail], with the tail CRC computed over the packet.
-func (r *Rqst) Encode() ([]uint64, error) {
+// EncodedWords returns the wire-form length of the request in 64-bit
+// words: WordsPerFlit times the effective packet length.
+func (r *Rqst) EncodedWords() int {
+	return WordsPerFlit * int(r.effLNG())
+}
+
+// EncodeInto serializes the request into its word-level wire form —
+// [header, payload..., tail], with the tail CRC computed over the packet —
+// reusing buf's backing array when it has capacity for EncodedWords()
+// words. It returns the encoded slice, which aliases buf unless buf was
+// too small.
+func (r *Rqst) EncodeInto(buf []uint64) ([]uint64, error) {
 	lng := r.effLNG()
 	if lng < 1 || lng > hmccmd.MaxPacketFlits {
 		return nil, fmt.Errorf("%w: LNG=%d", ErrBadLength, lng)
@@ -199,34 +208,66 @@ func (r *Rqst) Encode() ([]uint64, error) {
 		return nil, fmt.Errorf("%w: %d payload words for LNG=%d (want %d)",
 			ErrBadLength, len(r.Payload), lng, want)
 	}
-	words := make([]uint64, 0, WordsPerFlit*int(lng))
-	words = append(words, r.EncodeHead())
-	words = append(words, r.Payload...)
-	words = append(words, r.EncodeTail())
-	words[len(words)-1] |= uint64(packetCRC(words)) << 32
+	n := WordsPerFlit * int(lng)
+	words := buf
+	if cap(words) < n {
+		words = make([]uint64, n)
+	} else {
+		words = words[:n]
+	}
+	words[0] = r.EncodeHead()
+	copy(words[1:n-1], r.Payload)
+	words[n-1] = r.EncodeTail()
+	words[n-1] |= uint64(packetCRC(words)) << 32
 	return words, nil
 }
 
-// DecodeRqst parses and validates a request packet from its wire form.
-func DecodeRqst(words []uint64) (*Rqst, error) {
+// Encode serializes the request into a freshly allocated wire form.
+func (r *Rqst) Encode() ([]uint64, error) {
+	return r.EncodeInto(nil)
+}
+
+// Clone returns a deep copy of the request with its own payload backing.
+func (r *Rqst) Clone() *Rqst {
+	c := *r
+	if len(r.Payload) > 0 {
+		c.Payload = append([]uint64(nil), r.Payload...)
+	}
+	return &c
+}
+
+// CopyFrom deep-copies src into r, reusing r's existing payload backing
+// array when it has capacity. After CopyFrom the two packets share no
+// state, so the caller may immediately reuse or mutate src.
+func (r *Rqst) CopyFrom(src *Rqst) {
+	pl := r.Payload
+	*r = *src
+	r.Payload = append(pl[:0], src.Payload...)
+}
+
+// DecodeRqstInto parses and validates a request packet from its wire
+// form into dst, reusing dst's payload backing array when it has
+// capacity. On error dst is left unchanged.
+func DecodeRqstInto(dst *Rqst, words []uint64) error {
 	if len(words) == 0 {
-		return nil, ErrNilPacket
+		return ErrNilPacket
 	}
 	head := words[0]
 	lng := uint8(head >> 7 & 0x1F)
 	if lng < 1 || lng > hmccmd.MaxPacketFlits || len(words) != WordsPerFlit*int(lng) {
-		return nil, fmt.Errorf("%w: LNG=%d with %d words", ErrBadLength, lng, len(words))
+		return fmt.Errorf("%w: LNG=%d with %d words", ErrBadLength, lng, len(words))
 	}
 	if crc := uint32(words[len(words)-1] >> 32); crc != crcWithTailZeroed(words) {
-		return nil, ErrBadCRC
+		return ErrBadCRC
 	}
 	code := uint8(head & 0x7F)
 	cmd, ok := hmccmd.FromCode(code)
 	if !ok {
-		return nil, fmt.Errorf("%w: code %#x", ErrBadCommand, code)
+		return fmt.Errorf("%w: code %#x", ErrBadCommand, code)
 	}
 	tail := words[len(words)-1]
-	r := &Rqst{
+	pl := dst.Payload
+	*dst = Rqst{
 		Cmd:  cmd,
 		CUB:  uint8(head >> 61 & MaxCUB),
 		ADRS: head >> 24 & MaxADRS,
@@ -239,8 +280,18 @@ func DecodeRqst(words []uint64) (*Rqst, error) {
 		SLID: uint8(tail >> 22 & MaxSLID),
 		RTC:  uint8(tail >> 27 & 0x1F),
 	}
-	if n := payloadWords(lng); n > 0 {
-		r.Payload = append([]uint64(nil), words[1:1+n]...)
+	// pl[:0] keeps dst's backing array (and its capacity) alive across
+	// decodes, including of one-FLIT packets with no payload.
+	dst.Payload = append(pl[:0], words[1:1+payloadWords(lng)]...)
+	return nil
+}
+
+// DecodeRqst parses and validates a request packet from its wire form
+// into a freshly allocated Rqst.
+func DecodeRqst(words []uint64) (*Rqst, error) {
+	r := new(Rqst)
+	if err := DecodeRqstInto(r, words); err != nil {
+		return nil, err
 	}
 	return r, nil
 }
@@ -282,8 +333,17 @@ func (p *Rsp) EncodeTail() uint64 {
 	return t
 }
 
-// Encode serializes the response into its word-level wire form.
-func (p *Rsp) Encode() ([]uint64, error) {
+// EncodedWords returns the wire-form length of the response in 64-bit
+// words.
+func (p *Rsp) EncodedWords() int {
+	return WordsPerFlit * int(p.LNG)
+}
+
+// EncodeInto serializes the response into its word-level wire form,
+// reusing buf's backing array when it has capacity for EncodedWords()
+// words. It returns the encoded slice, which aliases buf unless buf was
+// too small.
+func (p *Rsp) EncodeInto(buf []uint64) ([]uint64, error) {
 	if p.LNG < 1 || p.LNG > hmccmd.MaxPacketFlits {
 		return nil, fmt.Errorf("%w: LNG=%d", ErrBadLength, p.LNG)
 	}
@@ -292,30 +352,44 @@ func (p *Rsp) Encode() ([]uint64, error) {
 		return nil, fmt.Errorf("%w: %d payload words for LNG=%d (want %d)",
 			ErrBadLength, len(p.Payload), p.LNG, want)
 	}
-	words := make([]uint64, 0, WordsPerFlit*int(p.LNG))
-	words = append(words, p.EncodeHead())
-	words = append(words, p.Payload...)
-	words = append(words, p.EncodeTail())
-	words[len(words)-1] |= uint64(packetCRC(words)) << 32
+	n := WordsPerFlit * int(p.LNG)
+	words := buf
+	if cap(words) < n {
+		words = make([]uint64, n)
+	} else {
+		words = words[:n]
+	}
+	words[0] = p.EncodeHead()
+	copy(words[1:n-1], p.Payload)
+	words[n-1] = p.EncodeTail()
+	words[n-1] |= uint64(packetCRC(words)) << 32
 	return words, nil
 }
 
-// DecodeRsp parses and validates a response packet from its wire form.
-func DecodeRsp(words []uint64) (*Rsp, error) {
+// Encode serializes the response into a freshly allocated wire form.
+func (p *Rsp) Encode() ([]uint64, error) {
+	return p.EncodeInto(nil)
+}
+
+// DecodeRspInto parses and validates a response packet from its wire
+// form into dst, reusing dst's payload backing array when it has
+// capacity. On error dst is left unchanged.
+func DecodeRspInto(dst *Rsp, words []uint64) error {
 	if len(words) == 0 {
-		return nil, ErrNilPacket
+		return ErrNilPacket
 	}
 	head := words[0]
 	lng := uint8(head >> 7 & 0x1F)
 	if lng < 1 || lng > hmccmd.MaxPacketFlits || len(words) != WordsPerFlit*int(lng) {
-		return nil, fmt.Errorf("%w: LNG=%d with %d words", ErrBadLength, lng, len(words))
+		return fmt.Errorf("%w: LNG=%d with %d words", ErrBadLength, lng, len(words))
 	}
 	if crc := uint32(words[len(words)-1] >> 32); crc != crcWithTailZeroed(words) {
-		return nil, ErrBadCRC
+		return ErrBadCRC
 	}
 	code := uint8(head&0x7F) | uint8(head>>23&1)<<7
 	tail := words[len(words)-1]
-	p := &Rsp{
+	pl := dst.Payload
+	*dst = Rsp{
 		Cmd:     hmccmd.RespFromCode(code),
 		CmdCode: code,
 		CUB:     uint8(head >> 61 & MaxCUB),
@@ -328,8 +402,16 @@ func DecodeRsp(words []uint64) (*Rsp, error) {
 		DINV:    tail>>21&1 == 1,
 		ERRSTAT: uint8(tail >> 22 & 0x7F),
 	}
-	if n := payloadWords(lng); n > 0 {
-		p.Payload = append([]uint64(nil), words[1:1+n]...)
+	dst.Payload = append(pl[:0], words[1:1+payloadWords(lng)]...)
+	return nil
+}
+
+// DecodeRsp parses and validates a response packet from its wire form
+// into a freshly allocated Rsp.
+func DecodeRsp(words []uint64) (*Rsp, error) {
+	p := new(Rsp)
+	if err := DecodeRspInto(p, words); err != nil {
+		return nil, err
 	}
 	return p, nil
 }

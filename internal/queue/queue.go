@@ -60,10 +60,30 @@ type Queue[T any] struct {
 // New returns a queue with the given capacity. It panics if capacity is
 // not positive, which always indicates a configuration error upstream.
 func New[T any](capacity int) *Queue[T] {
+	q := new(Queue[T])
+	q.Init(capacity)
+	return q
+}
+
+// Init readies a zero-value queue with the given capacity, allocating a
+// fresh ring buffer. It lets owners embed queues by value instead of
+// holding *Queue indirections. It panics if capacity is not positive.
+func (q *Queue[T]) Init(capacity int) {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("queue: invalid capacity %d", capacity))
 	}
-	return &Queue[T]{buf: make([]T, capacity)}
+	q.InitWithBuf(make([]T, capacity))
+}
+
+// InitWithBuf readies a zero-value queue over a caller-provided ring
+// buffer whose length is the queue capacity. Owners that build many
+// queues at once can carve them all from one flat allocation. The queue
+// takes ownership of buf. It panics on an empty buffer.
+func (q *Queue[T]) InitWithBuf(buf []T) {
+	if len(buf) == 0 {
+		panic("queue: empty ring buffer")
+	}
+	*q = Queue[T]{buf: buf}
 }
 
 // Cap returns the queue capacity.

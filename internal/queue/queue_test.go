@@ -214,3 +214,54 @@ func TestSampleBaseReconstruction(t *testing.T) {
 		t.Errorf("counter mismatch: %+v vs %+v", a, b)
 	}
 }
+
+// TestInitValueQueue checks that a queue embedded by value and readied
+// with Init behaves identically to one built with New.
+func TestInitValueQueue(t *testing.T) {
+	var q Queue[int]
+	q.Init(3)
+	if q.Cap() != 3 || !q.Empty() {
+		t.Fatalf("Init: cap=%d empty=%v", q.Cap(), q.Empty())
+	}
+	for i := 1; i <= 3; i++ {
+		if err := q.Push(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Push(4); !errors.Is(err, ErrFull) {
+		t.Fatalf("push on full: %v", err)
+	}
+	for i := 1; i <= 3; i++ {
+		if v, ok := q.Pop(); !ok || v != i {
+			t.Fatalf("pop %d: got %d, %v", i, v, ok)
+		}
+	}
+}
+
+// TestInitWithBufSharedBacking carves two queues from one flat slice and
+// checks they stay independent FIFOs.
+func TestInitWithBufSharedBacking(t *testing.T) {
+	backing := make([]int, 8)
+	var a, b Queue[int]
+	a.InitWithBuf(backing[:4])
+	b.InitWithBuf(backing[4:])
+	for i := 0; i < 4; i++ {
+		_ = a.Push(10 + i)
+		_ = b.Push(20 + i)
+	}
+	for i := 0; i < 4; i++ {
+		if v, _ := a.Pop(); v != 10+i {
+			t.Fatalf("a pop %d: %d", i, v)
+		}
+		if v, _ := b.Pop(); v != 20+i {
+			t.Fatalf("b pop %d: %d", i, v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("InitWithBuf(nil) did not panic")
+		}
+	}()
+	var c Queue[int]
+	c.InitWithBuf(nil)
+}

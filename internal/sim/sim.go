@@ -91,6 +91,12 @@ type Simulator struct {
 	topo  *topo.Topology
 	pm    *power.Model
 	cycle uint64
+
+	// Wire-level scratch: SendWire decodes into wireRqst (adopted by the
+	// device before SendWire returns); RecvWire encodes into wire, which
+	// is retained and reused across calls.
+	wireRqst packet.Rqst
+	wire     []uint64
 }
 
 // New builds a simulation context for identically configured devices.
@@ -162,6 +168,38 @@ func (s *Simulator) Send(link int, r *packet.Rqst) error {
 // Recv pops the next response from a host link (hmcsim_recv).
 func (s *Simulator) Recv(link int) (*packet.Rsp, bool) {
 	return s.topo.Recv(link)
+}
+
+// SendWire submits an encoded request packet — the C library's
+// hmcsim_send shape, where the host hands over raw uint64 words. The
+// packet is CRC-checked and decoded into an internal scratch the device
+// adopts before SendWire returns, so the caller's buffer is free for
+// reuse immediately.
+func (s *Simulator) SendWire(link int, words []uint64) error {
+	if err := packet.DecodeRqstInto(&s.wireRqst, words); err != nil {
+		return err
+	}
+	return s.topo.Send(link, &s.wireRqst)
+}
+
+// RecvWire pops the next response as encoded packet words — the C
+// library's hmcsim_recv shape. The returned slice is an internal scratch
+// valid until the next RecvWire call on this simulator; the backing
+// response object is recycled before RecvWire returns.
+func (s *Simulator) RecvWire(link int) ([]uint64, bool) {
+	rsp, ok := s.topo.Recv(link)
+	if !ok {
+		return nil, false
+	}
+	words, err := rsp.EncodeInto(s.wire)
+	packet.PutRsp(rsp)
+	if err != nil {
+		// Responses are device-built; failing to encode one is a
+		// programming error, not an I/O condition.
+		panic(fmt.Sprintf("sim: encoding device response: %v", err))
+	}
+	s.wire = words
+	return words, true
 }
 
 // LoadCMC resolves a registered CMC operation by name — the hmc_load_cmc
@@ -243,25 +281,54 @@ func readCmdFor(n int) (hmccmd.Rqst, error) {
 	}
 }
 
-// writeCmdFor maps a byte count onto the architected write command.
+// writeCmdFor maps a byte count onto the architected write command. A
+// switch rather than a lookup table: this sits on the injection fast
+// path, where a map literal would be rebuilt on every call.
 func writeCmdFor(n int, posted bool) (hmccmd.Rqst, error) {
-	plain := map[int]hmccmd.Rqst{
-		16: hmccmd.WR16, 32: hmccmd.WR32, 48: hmccmd.WR48, 64: hmccmd.WR64,
-		80: hmccmd.WR80, 96: hmccmd.WR96, 112: hmccmd.WR112, 128: hmccmd.WR128,
-		256: hmccmd.WR256,
-	}
-	post := map[int]hmccmd.Rqst{
-		16: hmccmd.PWR16, 32: hmccmd.PWR32, 48: hmccmd.PWR48, 64: hmccmd.PWR64,
-		80: hmccmd.PWR80, 96: hmccmd.PWR96, 112: hmccmd.PWR112, 128: hmccmd.PWR128,
-		256: hmccmd.PWR256,
-	}
-	m := plain
-	if posted {
-		m = post
-	}
-	cmd, ok := m[n]
-	if !ok {
+	var cmd hmccmd.Rqst
+	switch n {
+	case 16:
+		cmd = hmccmd.WR16
+	case 32:
+		cmd = hmccmd.WR32
+	case 48:
+		cmd = hmccmd.WR48
+	case 64:
+		cmd = hmccmd.WR64
+	case 80:
+		cmd = hmccmd.WR80
+	case 96:
+		cmd = hmccmd.WR96
+	case 112:
+		cmd = hmccmd.WR112
+	case 128:
+		cmd = hmccmd.WR128
+	case 256:
+		cmd = hmccmd.WR256
+	default:
 		return 0, fmt.Errorf("%w: write of %d bytes", ErrBadSize, n)
+	}
+	if posted {
+		switch cmd {
+		case hmccmd.WR16:
+			cmd = hmccmd.PWR16
+		case hmccmd.WR32:
+			cmd = hmccmd.PWR32
+		case hmccmd.WR48:
+			cmd = hmccmd.PWR48
+		case hmccmd.WR64:
+			cmd = hmccmd.PWR64
+		case hmccmd.WR80:
+			cmd = hmccmd.PWR80
+		case hmccmd.WR96:
+			cmd = hmccmd.PWR96
+		case hmccmd.WR112:
+			cmd = hmccmd.PWR112
+		case hmccmd.WR128:
+			cmd = hmccmd.PWR128
+		case hmccmd.WR256:
+			cmd = hmccmd.PWR256
+		}
 	}
 	return cmd, nil
 }
@@ -320,3 +387,91 @@ func BuildCMC(cmd hmccmd.Rqst, cub int, adrs uint64, tag uint16, link int, paylo
 		Payload: append([]uint64(nil), payload...),
 	}, nil
 }
+
+// --- Reusable request scratch (the zero-allocation injection path) ---
+
+// ReqScratch is a reusable request builder for injection loops. Each
+// builder call overwrites the scratch's embedded request and payload
+// buffer and returns a pointer to them, so one scratch carries one
+// request at a time. Reuse is safe because Send adopts the request by
+// deep copy before returning (see device.Send); a driver thread
+// therefore needs exactly one scratch, alive for the whole run, and
+// issues every request through it without allocating.
+//
+// The zero value is ready to use.
+type ReqScratch struct {
+	req packet.Rqst
+	buf [packet.MaxPayloadWords]uint64
+}
+
+// Payload returns the scratch's n-word payload buffer for the caller to
+// fill before a Build call. Passing the returned slice back to
+// BuildWrite/BuildAtomic/BuildCMC is the idiomatic zero-copy use; any
+// other slice is copied in.
+func (s *ReqScratch) Payload(n int) []uint64 { return s.buf[:n] }
+
+// Owns reports whether r is this scratch's embedded request — how a
+// pipelined driver maps a completed request back to the scratch that
+// built it.
+func (s *ReqScratch) Owns(r *packet.Rqst) bool { return r == &s.req }
+
+// fill overwrites the embedded request. data may alias s.buf (the
+// Payload idiom); copy within one slice is well defined.
+func (s *ReqScratch) fill(cmd hmccmd.Rqst, cub int, adrs uint64, tag uint16, link int, lng uint8, data []uint64) *packet.Rqst {
+	var pl []uint64
+	if len(data) > 0 {
+		pl = s.buf[:len(data)]
+		copy(pl, data)
+	}
+	s.req = packet.Rqst{
+		Cmd: cmd, CUB: uint8(cub), ADRS: adrs, TAG: tag, SLID: uint8(link),
+		LNG: lng, Payload: pl,
+	}
+	return &s.req
+}
+
+// BuildRead is the scratch-backed equivalent of BuildRead.
+func (s *ReqScratch) BuildRead(cub int, adrs uint64, tag uint16, link, n int) (*packet.Rqst, error) {
+	cmd, err := readCmdFor(n)
+	if err != nil {
+		return nil, err
+	}
+	return s.fill(cmd, cub, adrs, tag, link, 0, nil), nil
+}
+
+// BuildWrite is the scratch-backed equivalent of BuildWrite.
+func (s *ReqScratch) BuildWrite(cub int, adrs uint64, tag uint16, link int, data []uint64, posted bool) (*packet.Rqst, error) {
+	cmd, err := writeCmdFor(len(data)*8, posted)
+	if err != nil {
+		return nil, err
+	}
+	return s.fill(cmd, cub, adrs, tag, link, 0, data), nil
+}
+
+// BuildAtomic is the scratch-backed equivalent of BuildAtomic.
+func (s *ReqScratch) BuildAtomic(cmd hmccmd.Rqst, cub int, adrs uint64, tag uint16, link int, payload []uint64) (*packet.Rqst, error) {
+	info := cmd.Info()
+	if info.Class != hmccmd.ClassAtomic && info.Class != hmccmd.ClassPostedAtomic {
+		return nil, fmt.Errorf("sim: %s is not an atomic command", info.Name)
+	}
+	if want := 2 * (int(info.RqstFlits) - 1); len(payload) != want {
+		return nil, fmt.Errorf("sim: %s payload %d words, want %d", info.Name, len(payload), want)
+	}
+	return s.fill(cmd, cub, adrs, tag, link, 0, payload), nil
+}
+
+// BuildCMC is the scratch-backed equivalent of BuildCMC.
+func (s *ReqScratch) BuildCMC(cmd hmccmd.Rqst, cub int, adrs uint64, tag uint16, link int, payload []uint64) (*packet.Rqst, error) {
+	if !cmd.IsCMC() {
+		return nil, fmt.Errorf("sim: %v is not a CMC slot", cmd)
+	}
+	if len(payload)%2 != 0 {
+		return nil, fmt.Errorf("sim: CMC payload must be whole FLITs, got %d words", len(payload))
+	}
+	return s.fill(cmd, cub, adrs, tag, link, uint8(1+len(payload)/2), payload), nil
+}
+
+// ReleaseRsp returns a response obtained from Recv to the packet pool.
+// Optional: unreleased responses are simply collected by the GC. The
+// response (including its payload) must not be used after release.
+func ReleaseRsp(r *packet.Rsp) { packet.PutRsp(r) }

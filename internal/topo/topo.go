@@ -162,10 +162,13 @@ func (t *Topology) Send(link int, r *packet.Rqst) error {
 		return t.devs[0].Send(link, r)
 	}
 	hops := t.Hops(0, target)
+	// Clone: the packet sits in the hop-delay buffer for several cycles,
+	// and callers are free to reuse their request (and its payload) as
+	// soon as Send returns — the same adoption contract device.Send has.
 	t.pendingRqst = append(t.pendingRqst, delayedRqst{
 		deliverAt: t.cycle + uint64(hops),
 		link:      link,
-		rqst:      r,
+		rqst:      r.Clone(),
 	})
 	t.ForwardedRqsts++
 	return nil

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"io"
+	"strconv"
+	"sync"
+)
+
+// bufferedSize is the BufferedTracer's preallocated buffer capacity;
+// bufferedFlushAt is the high-water mark that triggers a write to the
+// underlying sink. The gap leaves room for a typical record so that most
+// Emit calls append without growing the buffer.
+const (
+	bufferedSize    = 64 << 10
+	bufferedFlushAt = bufferedSize - 4096
+)
+
+// BufferedTracer renders the TextTracer line format into a preallocated
+// byte buffer with no fmt machinery on the fast path: each Emit is a
+// series of appends (strconv for the numeric fields) into a buffer that
+// is handed to the underlying writer only when it fills or on an
+// explicit Flush. Output is byte-identical to TextTracer's.
+//
+// Heavily traced runs spend real time in tracing — the original
+// simulator's trace files grow by gigabytes — so the per-event cost here
+// is a lock, ~20 appends and no allocation, versus a fmt.Fprintf parse
+// per event.
+type BufferedTracer struct {
+	mu     sync.Mutex
+	w      io.Writer
+	buf    []byte
+	levels Level
+	err    error
+}
+
+// NewBuffered returns a buffered text tracer collecting the given
+// levels. Call Flush when tracing is done; events still in the buffer
+// are otherwise never written.
+func NewBuffered(w io.Writer, levels Level) *BufferedTracer {
+	return &BufferedTracer{w: w, buf: make([]byte, 0, bufferedSize), levels: levels}
+}
+
+// Enabled implements Tracer.
+func (t *BufferedTracer) Enabled(l Level) bool { return t.levels&l != 0 }
+
+// Emit implements Tracer.
+func (t *BufferedTracer) Emit(e Event) {
+	if !t.Enabled(e.Kind) {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.buf
+	b = append(b, "HMCSIM_TRACE : "...)
+	b = strconv.AppendUint(b, e.Cycle, 10)
+	b = append(b, " : "...)
+	b = append(b, kindName(e.Kind)...)
+	b = append(b, " : dev="...)
+	b = strconv.AppendInt(b, int64(e.Dev), 10)
+	b = append(b, " quad="...)
+	b = strconv.AppendInt(b, int64(e.Quad), 10)
+	b = append(b, " vault="...)
+	b = strconv.AppendInt(b, int64(e.Vault), 10)
+	b = append(b, " bank="...)
+	b = strconv.AppendInt(b, int64(e.Bank), 10)
+	b = append(b, " cmd="...)
+	b = append(b, e.Cmd...)
+	b = append(b, " tag="...)
+	b = strconv.AppendUint(b, uint64(e.Tag), 10)
+	b = append(b, " addr=0x"...)
+	b = strconv.AppendUint(b, e.Addr, 16)
+	b = append(b, " value="...)
+	b = strconv.AppendUint(b, e.Value, 10)
+	if e.Detail != "" {
+		b = append(b, " : "...)
+		b = append(b, e.Detail...)
+	}
+	b = append(b, '\n')
+	t.buf = b
+	if len(t.buf) >= bufferedFlushAt {
+		t.flushLocked()
+	}
+}
+
+// flushLocked writes the buffer out and resets it, retaining the first
+// write error (later events are still formatted but also dropped by the
+// failing writer; the error surfaces from Flush).
+func (t *BufferedTracer) flushLocked() {
+	if len(t.buf) == 0 {
+		return
+	}
+	if _, err := t.w.Write(t.buf); err != nil && t.err == nil {
+		t.err = err
+	}
+	t.buf = t.buf[:0]
+}
+
+// Flush writes buffered events to the underlying writer and returns the
+// first write error encountered over the tracer's lifetime.
+func (t *BufferedTracer) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.flushLocked()
+	return t.err
+}

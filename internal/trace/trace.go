@@ -234,11 +234,18 @@ func (t *JSONLTracer) Flush() error {
 	return t.w.Flush()
 }
 
+// recorderChunk is the Recorder's allocation unit: events are stored in
+// fixed-size chunks appended to a chunk list, so recording N events
+// costs N/recorderChunk allocations and never re-copies earlier events
+// (a flat slice would copy the whole history on every growth step).
+const recorderChunk = 256
+
 // Recorder is an in-memory Tracer for tests and analysis.
 type Recorder struct {
 	mu     sync.Mutex
 	levels Level
-	events []Event
+	chunks [][]Event
+	n      int
 }
 
 // NewRecorder returns a recorder collecting the given levels.
@@ -255,14 +262,30 @@ func (r *Recorder) Emit(e Event) {
 	e.KindName = kindName(e.Kind)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.events = append(r.events, e)
+	if len(r.chunks) == 0 || len(r.chunks[len(r.chunks)-1]) == recorderChunk {
+		r.chunks = append(r.chunks, make([]Event, 0, recorderChunk))
+	}
+	last := len(r.chunks) - 1
+	r.chunks[last] = append(r.chunks[last], e)
+	r.n++
 }
 
-// Events returns a copy of the recorded events.
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Events returns a copy of the recorded events in emission order.
 func (r *Recorder) Events() []Event {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return append([]Event(nil), r.events...)
+	out := make([]Event, 0, r.n)
+	for _, c := range r.chunks {
+		out = append(out, c...)
+	}
+	return out
 }
 
 // OfKind returns the recorded events matching the level mask.
@@ -270,9 +293,11 @@ func (r *Recorder) OfKind(mask Level) []Event {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var out []Event
-	for _, e := range r.events {
-		if e.Kind&mask != 0 {
-			out = append(out, e)
+	for _, c := range r.chunks {
+		for _, e := range c {
+			if e.Kind&mask != 0 {
+				out = append(out, e)
+			}
 		}
 	}
 	return out
@@ -282,7 +307,8 @@ func (r *Recorder) OfKind(mask Level) []Event {
 func (r *Recorder) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.events = nil
+	r.chunks = nil
+	r.n = 0
 }
 
 // ParseJSONL reads back a JSONL trace stream.

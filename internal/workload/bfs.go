@@ -140,6 +140,8 @@ type BFSAgent struct {
 	// Probes counts edge probes; Claims counts vertices this worker
 	// discovered.
 	Probes, Claims uint64
+
+	scratch sim.ReqScratch
 }
 
 // visitAddr returns the visited-block address of a vertex.
@@ -159,21 +161,25 @@ func (b *BFSAgent) Next(cycle uint64) *packet.Rqst {
 		b.Probes++
 		if b.Mode == BFSCMC {
 			b.state = bfsWaitVisit
-			r, err := sim.BuildCMC(visitCmd, 0, b.visitAddr(v), 0, 0, []uint64{b.work.level, 0})
+			pl := b.scratch.Payload(2)
+			pl[0], pl[1] = b.work.level, 0
+			r, err := b.scratch.BuildCMC(visitCmd, 0, b.visitAddr(v), 0, 0, pl)
 			if err != nil {
 				panic(err)
 			}
 			return r
 		}
 		b.state = bfsWaitRead
-		r, err := sim.BuildRead(0, b.visitAddr(v), 0, 0, 16)
+		r, err := b.scratch.BuildRead(0, b.visitAddr(v), 0, 0, 16)
 		if err != nil {
 			panic(err)
 		}
 		return r
 	case bfsWriteReady:
 		b.state = bfsWaitWrite
-		r, err := sim.BuildWrite(0, b.visitAddr(b.target), 0, 0, []uint64{1, b.work.level}, false)
+		pl := b.scratch.Payload(2)
+		pl[0], pl[1] = 1, b.work.level
+		r, err := b.scratch.BuildWrite(0, b.visitAddr(b.target), 0, 0, pl, false)
 		if err != nil {
 			panic(err)
 		}
@@ -263,11 +269,10 @@ func RunBFS(cfg config.Config, mode BFSMode, threads, vertices, degree int, seed
 	work.next = append(work.next, 0)
 
 	agents := make([]Agent, threads)
-	workers := make([]*BFSAgent, threads)
-	for i := range agents {
-		w := &BFSAgent{Mode: mode, work: work}
-		workers[i] = w
-		agents[i] = w
+	workers := make([]BFSAgent, threads)
+	for i := range workers {
+		workers[i] = BFSAgent{Mode: mode, work: work}
+		agents[i] = &workers[i]
 	}
 	res, err := Run(s, agents, 100_000_000)
 	if err != nil {
@@ -287,9 +292,9 @@ func RunBFS(cfg config.Config, mode BFSMode, threads, vertices, degree int, seed
 		}
 	}
 	var probes uint64
-	for _, w := range workers {
-		probes += w.Probes
-		claims += w.Claims
+	for i := range workers {
+		probes += workers[i].Probes
+		claims += workers[i].Claims
 	}
 	if visited != vertices {
 		return BFSResult{}, fmt.Errorf("%w: visited %d of %d vertices", ErrAgentFault, visited, vertices)

@@ -71,6 +71,8 @@ type GUPSAgent struct {
 	done  uint64
 	state gupsState
 	val   uint64
+
+	scratch sim.ReqScratch
 }
 
 // target returns the table address for the current random value.
@@ -94,14 +96,16 @@ func (g *GUPSAgent) Next(cycle uint64) *packet.Rqst {
 		g.ran = xorshift64(g.ran)
 		if g.Mode == GUPSAtomic {
 			g.state = gupsWaitAtomic
-			r, err := sim.BuildAtomic(hmccmd.XOR16, 0, g.target(), 0, 0, []uint64{g.ran, 0})
+			pl := g.scratch.Payload(2)
+			pl[0], pl[1] = g.ran, 0
+			r, err := g.scratch.BuildAtomic(hmccmd.XOR16, 0, g.target(), 0, 0, pl)
 			if err != nil {
 				panic(err)
 			}
 			return r
 		}
 		g.state = gupsWaitRead
-		r, err := sim.BuildRead(0, g.target(), 0, 0, 16)
+		r, err := g.scratch.BuildRead(0, g.target(), 0, 0, 16)
 		if err != nil {
 			panic(err)
 		}
@@ -109,7 +113,9 @@ func (g *GUPSAgent) Next(cycle uint64) *packet.Rqst {
 	}
 	if g.state == gupsWriteReady {
 		g.state = gupsWaitWrite
-		r, err := sim.BuildWrite(0, g.target(), 0, 0, []uint64{g.val, 0}, false)
+		pl := g.scratch.Payload(2)
+		pl[0], pl[1] = g.val, 0
+		r, err := g.scratch.BuildWrite(0, g.target(), 0, 0, pl, false)
 		if err != nil {
 			panic(err)
 		}
@@ -164,15 +170,14 @@ func RunGUPS(cfg config.Config, mode GUPSMode, threads int, tableBlocks, updates
 		return GUPSResult{}, err
 	}
 	agents := make([]Agent, threads)
-	gups := make([]*GUPSAgent, threads)
+	gups := make([]GUPSAgent, threads)
 	per := updates / uint64(threads)
-	for i := range agents {
-		g := &GUPSAgent{
+	for i := range gups {
+		gups[i] = GUPSAgent{
 			Mode: mode, TableBase: 0, TableBlocks: tableBlocks,
 			Updates: per, Seed: uint64(i)*0x9E3779B97F4A7C15 + 1,
 		}
-		gups[i] = g
-		agents[i] = g
+		agents[i] = &gups[i]
 	}
 	res, err := Run(s, agents, 100_000_000)
 	if err != nil {
@@ -190,7 +195,8 @@ func RunGUPS(cfg config.Config, mode GUPSMode, threads int, tableBlocks, updates
 	if mode == GUPSAtomic {
 		// Replay the update streams host-side and compare.
 		want := make(map[uint64]uint64)
-		for _, g := range gups {
+		for i := range gups {
+			g := &gups[i]
 			ran := g.Seed
 			for u := uint64(0); u < g.Updates; u++ {
 				ran = xorshift64(ran)

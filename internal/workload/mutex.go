@@ -47,6 +47,8 @@ type MutexAgent struct {
 	Trylocks uint64
 	// WonByLock records whether the initial HMC_LOCK succeeded.
 	WonByLock bool
+
+	scratch sim.ReqScratch
 }
 
 // NewMutexAgent returns an agent for one simulated thread.
@@ -71,7 +73,9 @@ func (m *MutexAgent) Next(cycle uint64) *packet.Rqst {
 	default:
 		return nil
 	}
-	r, err := sim.BuildCMC(cmd, m.CUB, m.Addr, 0, 0, []uint64{m.TID, 0})
+	pl := m.scratch.Payload(2)
+	pl[0], pl[1] = m.TID, 0
+	r, err := m.scratch.BuildCMC(cmd, m.CUB, m.Addr, 0, 0, pl)
 	if err != nil {
 		// The three mutex ops are 2-FLIT requests by construction; a
 		// build failure is a programming error.
@@ -148,12 +152,13 @@ func RunMutex(cfg config.Config, threads int, lockAddr uint64, opts ...sim.Optio
 			return MutexRun{}, err
 		}
 	}
+	// One backing array for all agents: a sweep constructs thousands of
+	// these, so per-agent heap objects add up.
 	agents := make([]Agent, threads)
-	muts := make([]*MutexAgent, threads)
-	for i := range agents {
-		m := NewMutexAgent(uint64(i)+1, 0, lockAddr) // TID 0 means "free"
-		muts[i] = m
-		agents[i] = m
+	muts := make([]MutexAgent, threads)
+	for i := range muts {
+		muts[i] = MutexAgent{TID: uint64(i) + 1, Addr: lockAddr} // TID 0 means "free"
+		agents[i] = &muts[i]
 	}
 	res, err := Run(s, agents, 1_000_000)
 	if err != nil {
@@ -166,8 +171,8 @@ func RunMutex(cfg config.Config, threads int, lockAddr uint64, opts ...sim.Optio
 		Avg:        res.Summary.Avg(),
 		SendStalls: res.SendStalls,
 	}
-	for _, m := range muts {
-		run.Trylocks += m.Trylocks
+	for i := range muts {
+		run.Trylocks += muts[i].Trylocks
 	}
 	// Post-condition: the lock must end free (every thread unlocked).
 	d, err := s.Device(0)

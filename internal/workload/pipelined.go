@@ -39,16 +39,24 @@ type pendingSlot struct {
 
 // RunPipelined drives pipelined agents against the simulator. Completion
 // cycles and totals are reported as in Run.
+//
+// Responses are returned to the packet pool after each Complete call:
+// agents must not retain the response or its payload past Complete.
 func RunPipelined(s *sim.Simulator, agents []PipelinedAgent, maxCycles uint64) (Result, error) {
 	res := Result{CompletionCycles: make([]uint64, len(agents))}
 	links := s.Links()
 
-	// Tag pool: a free list over the 11-bit TAG space.
+	// Tag pool: a free list over the 11-bit TAG space, with in-flight
+	// requests tracked in a flat tag-indexed table (a map here costs a
+	// hash per issue and per drain on the hot path).
 	free := make([]uint16, 0, packet.MaxTag+1)
 	for t := packet.MaxTag; t >= 0; t-- {
 		free = append(free, uint16(t))
 	}
-	inFlight := map[uint16]pendingSlot{}
+	inFlight := make([]pendingSlot, packet.MaxTag+1)
+	for t := range inFlight {
+		inFlight[t].agent = -1
+	}
 	outstanding := make([]int, len(agents))
 	pending := make([]*packet.Rqst, len(agents))
 	done := make([]bool, len(agents))
@@ -101,7 +109,7 @@ func RunPipelined(s *sim.Simulator, agents []PipelinedAgent, maxCycles uint64) (
 				pending[i] = nil
 				res.Rqsts++
 				if r.Cmd.Posted() {
-					delete(inFlight, r.TAG)
+					inFlight[r.TAG] = pendingSlot{agent: -1}
 					free = append(free, r.TAG)
 					if err := a.Complete(r, nil, s.Cycle()); err != nil {
 						return res, fmt.Errorf("%w: agent %d: %v", ErrAgentFault, i, err)
@@ -126,15 +134,20 @@ func RunPipelined(s *sim.Simulator, agents []PipelinedAgent, maxCycles uint64) (
 				if !ok {
 					break
 				}
-				slot, ok := inFlight[rsp.TAG]
-				if !ok {
+				if int(rsp.TAG) >= len(inFlight) {
 					return res, fmt.Errorf("%w: response with unexpected tag %d", ErrAgentFault, rsp.TAG)
 				}
-				delete(inFlight, rsp.TAG)
+				slot := inFlight[rsp.TAG]
+				if slot.agent < 0 {
+					return res, fmt.Errorf("%w: response with unexpected tag %d", ErrAgentFault, rsp.TAG)
+				}
+				inFlight[rsp.TAG] = pendingSlot{agent: -1}
 				free = append(free, rsp.TAG)
 				outstanding[slot.agent]--
 				a := agents[slot.agent]
-				if err := a.Complete(slot.rqst, rsp, s.Cycle()); err != nil {
+				err := a.Complete(slot.rqst, rsp, s.Cycle())
+				sim.ReleaseRsp(rsp)
+				if err != nil {
 					return res, fmt.Errorf("%w: agent %d: %v", ErrAgentFault, slot.agent, err)
 				}
 				if !done[slot.agent] && outstanding[slot.agent] == 0 && pending[slot.agent] == nil && a.Done() {
@@ -155,6 +168,10 @@ func RunPipelined(s *sim.Simulator, agents []PipelinedAgent, maxCycles uint64) (
 
 // PipelinedReader streams reads over a contiguous region with a
 // configurable pipeline width — the classic bandwidth probe.
+//
+// Requests come from a free list of W scratches: a scratch is checked
+// out by Next and returned when Complete identifies it by the request
+// pointer, so a full pipeline issues without allocating.
 type PipelinedReader struct {
 	// Base and Blocks delimit the region (64-byte blocks); W is the
 	// pipeline width.
@@ -166,6 +183,9 @@ type PipelinedReader struct {
 	completed uint64
 	// Latency aggregates per-read round trips.
 	Latency stats.Summary
+
+	scratches []sim.ReqScratch
+	freeList  []*sim.ReqScratch
 }
 
 // Next implements PipelinedAgent.
@@ -173,7 +193,21 @@ func (p *PipelinedReader) Next(cycle uint64) *packet.Rqst {
 	if p.issued >= p.Blocks {
 		return nil
 	}
-	r, err := sim.BuildRead(0, p.Base+p.issued*64, 0, 0, 64)
+	if p.scratches == nil {
+		p.scratches = make([]sim.ReqScratch, p.W)
+		p.freeList = make([]*sim.ReqScratch, 0, p.W)
+		for i := range p.scratches {
+			p.freeList = append(p.freeList, &p.scratches[i])
+		}
+	}
+	if len(p.freeList) == 0 {
+		// Every scratch is in flight; the engine's width cap normally
+		// prevents this, but a parked (stalled) request also holds one.
+		return nil
+	}
+	sc := p.freeList[len(p.freeList)-1]
+	p.freeList = p.freeList[:len(p.freeList)-1]
+	r, err := sc.BuildRead(0, p.Base+p.issued*64, 0, 0, 64)
 	if err != nil {
 		panic(err)
 	}
@@ -185,6 +219,12 @@ func (p *PipelinedReader) Next(cycle uint64) *packet.Rqst {
 func (p *PipelinedReader) Complete(rqst *packet.Rqst, rsp *packet.Rsp, cycle uint64) error {
 	if rsp == nil || rsp.ERRSTAT != 0 {
 		return fmt.Errorf("read failed: %+v", rsp)
+	}
+	for i := range p.scratches {
+		if p.scratches[i].Owns(rqst) {
+			p.freeList = append(p.freeList, &p.scratches[i])
+			break
+		}
 	}
 	p.completed++
 	return nil

@@ -175,6 +175,8 @@ type ReplayAgent struct {
 	issuedAt uint64
 	// Latency aggregates per-op round-trip latencies.
 	Latency stats.Summary
+
+	scratch sim.ReqScratch
 }
 
 // Next implements Agent.
@@ -190,12 +192,15 @@ func (a *ReplayAgent) Next(cycle uint64) *packet.Rqst {
 	var err error
 	switch {
 	case op.Cmd == hmccmd.RD16 && op.Bytes > 0:
-		r, err = sim.BuildRead(0, op.Addr, 0, 0, op.Bytes)
+		r, err = a.scratch.BuildRead(0, op.Addr, 0, 0, op.Bytes)
 	case op.Cmd == hmccmd.WR16 && op.Bytes > 0:
-		r, err = sim.BuildWrite(0, op.Addr, 0, 0, make([]uint64, op.Bytes/8), false)
+		pl := a.scratch.Payload(op.Bytes / 8)
+		clear(pl) // traces carry no data; replay writes zeros
+		r, err = a.scratch.BuildWrite(0, op.Addr, 0, 0, pl, false)
 	default:
-		payload := make([]uint64, 2*(int(info.RqstFlits)-1))
-		r, err = sim.BuildAtomic(op.Cmd, 0, op.Addr, 0, 0, payload)
+		pl := a.scratch.Payload(2 * (int(info.RqstFlits) - 1))
+		clear(pl)
+		r, err = a.scratch.BuildAtomic(op.Cmd, 0, op.Addr, 0, 0, pl)
 	}
 	if err != nil {
 		panic(err)

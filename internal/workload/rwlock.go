@@ -57,6 +57,15 @@ type RWAgent struct {
 	// Acquisitions counts successful lock grabs; Retries counts refused
 	// attempts.
 	Acquisitions, Retries uint64
+
+	scratch sim.ReqScratch
+}
+
+// tidPayload fills the scratch payload with {tid, 0}.
+func (a *RWAgent) tidPayload() []uint64 {
+	pl := a.scratch.Payload(2)
+	pl[0], pl[1] = a.TID, 0
+	return pl
 }
 
 // Next implements Agent.
@@ -67,22 +76,24 @@ func (a *RWAgent) Next(cycle uint64) *packet.Rqst {
 	case rwAcquire:
 		a.state = rwWaitAcquire
 		if a.Role == rwWriter {
-			r, err = sim.BuildCMC(hmccmd.CMC60, 0, a.LockAddr, 0, 0, []uint64{a.TID, 0})
+			r, err = a.scratch.BuildCMC(hmccmd.CMC60, 0, a.LockAddr, 0, 0, a.tidPayload())
 		} else {
-			r, err = sim.BuildCMC(hmccmd.CMC58, 0, a.LockAddr, 0, 0, nil)
+			r, err = a.scratch.BuildCMC(hmccmd.CMC58, 0, a.LockAddr, 0, 0, nil)
 		}
 	case rwReadData:
 		a.state = rwWaitData
-		r, err = sim.BuildRead(0, a.DataAddr, 0, 0, 16)
+		r, err = a.scratch.BuildRead(0, a.DataAddr, 0, 0, 16)
 	case rwWriteData:
 		a.state = rwWaitWrite
-		r, err = sim.BuildWrite(0, a.DataAddr, 0, 0, []uint64{a.seen + 1, 0}, false)
+		pl := a.scratch.Payload(2)
+		pl[0], pl[1] = a.seen+1, 0
+		r, err = a.scratch.BuildWrite(0, a.DataAddr, 0, 0, pl, false)
 	case rwRelease:
 		a.state = rwWaitRelease
 		if a.Role == rwWriter {
-			r, err = sim.BuildCMC(hmccmd.CMC61, 0, a.LockAddr, 0, 0, []uint64{a.TID, 0})
+			r, err = a.scratch.BuildCMC(hmccmd.CMC61, 0, a.LockAddr, 0, 0, a.tidPayload())
 		} else {
-			r, err = sim.BuildCMC(hmccmd.CMC59, 0, a.LockAddr, 0, 0, nil)
+			r, err = a.scratch.BuildCMC(hmccmd.CMC59, 0, a.LockAddr, 0, 0, nil)
 		}
 	default:
 		return nil
@@ -161,17 +172,16 @@ func RunRWLock(cfg config.Config, readers, writers, rounds int, opts ...sim.Opti
 		}
 	}
 	const lockAddr, dataAddr = 0x40, 0x80
-	var agents []Agent
-	var rws []*RWAgent
+	agents := make([]Agent, 0, readers+writers)
+	rws := make([]RWAgent, readers+writers)
 	for i := 0; i < readers; i++ {
-		a := &RWAgent{Role: rwReader, TID: uint64(i) + 1, LockAddr: lockAddr, DataAddr: dataAddr, Rounds: rounds}
-		rws = append(rws, a)
-		agents = append(agents, a)
+		rws[i] = RWAgent{Role: rwReader, TID: uint64(i) + 1, LockAddr: lockAddr, DataAddr: dataAddr, Rounds: rounds}
 	}
 	for i := 0; i < writers; i++ {
-		a := &RWAgent{Role: rwWriter, TID: uint64(readers+i) + 1, LockAddr: lockAddr, DataAddr: dataAddr, Rounds: rounds}
-		rws = append(rws, a)
-		agents = append(agents, a)
+		rws[readers+i] = RWAgent{Role: rwWriter, TID: uint64(readers+i) + 1, LockAddr: lockAddr, DataAddr: dataAddr, Rounds: rounds}
+	}
+	for i := range rws {
+		agents = append(agents, &rws[i])
 	}
 	res, err := Run(s, agents, 10_000_000)
 	if err != nil {
@@ -179,13 +189,13 @@ func RunRWLock(cfg config.Config, readers, writers, rounds int, opts ...sim.Opti
 	}
 
 	out := RWResult{Readers: readers, Writers: writers, Rounds: rounds, Cycles: res.Cycles}
-	for _, a := range rws {
-		if a.Role == rwReader {
-			out.ReaderAcqs += a.Acquisitions
+	for i := range rws {
+		if rws[i].Role == rwReader {
+			out.ReaderAcqs += rws[i].Acquisitions
 		} else {
-			out.WriterAcqs += a.Acquisitions
+			out.WriterAcqs += rws[i].Acquisitions
 		}
-		out.Retries += a.Retries
+		out.Retries += rws[i].Retries
 	}
 	d, err := s.Device(0)
 	if err != nil {

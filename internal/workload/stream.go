@@ -43,6 +43,8 @@ type StreamAgent struct {
 	state streamState
 	b     [8]uint64
 	out   [8]uint64
+
+	scratch sim.ReqScratch
 }
 
 // Next implements Agent.
@@ -54,21 +56,21 @@ func (a *StreamAgent) Next(cycle uint64) *packet.Rqst {
 	switch a.state {
 	case streamReadB:
 		a.state = streamWaitB
-		r, err := sim.BuildRead(0, a.BBase+off, 0, 0, 64)
+		r, err := a.scratch.BuildRead(0, a.BBase+off, 0, 0, 64)
 		if err != nil {
 			panic(err)
 		}
 		return r
 	case streamReadC:
 		a.state = streamWaitC
-		r, err := sim.BuildRead(0, a.CBase+off, 0, 0, 64)
+		r, err := a.scratch.BuildRead(0, a.CBase+off, 0, 0, 64)
 		if err != nil {
 			panic(err)
 		}
 		return r
 	case streamWriteA:
 		a.state = streamWaitA
-		r, err := sim.BuildWrite(0, a.ABase+off, 0, 0, a.out[:], false)
+		r, err := a.scratch.BuildWrite(0, a.ABase+off, 0, 0, a.out[:], false)
 		if err != nil {
 			panic(err)
 		}
@@ -153,18 +155,20 @@ func RunStream(cfg config.Config, threads int, blocks uint64, clockGHz float64, 
 	}
 
 	agents := make([]Agent, threads)
+	streams := make([]StreamAgent, threads)
 	per := blocks / uint64(threads)
 	extra := blocks % uint64(threads)
 	first := uint64(0)
-	for i := range agents {
+	for i := range streams {
 		cnt := per
 		if uint64(i) < extra {
 			cnt++
 		}
-		agents[i] = &StreamAgent{
+		streams[i] = StreamAgent{
 			Q: q, ABase: aBase, BBase: bBase, CBase: cBase,
 			FirstBlock: first, Blocks: cnt,
 		}
+		agents[i] = &streams[i]
 		first += cnt
 	}
 	res, err := Run(s, agents, 100_000_000)

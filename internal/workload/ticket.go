@@ -44,6 +44,8 @@ type TicketAgent struct {
 	// AcquiredAt is the cycle the thread observed itself holding the
 	// lock.
 	AcquiredAt uint64
+
+	scratch sim.ReqScratch
 }
 
 // NewTicketAgent returns an agent for one simulated thread.
@@ -56,7 +58,7 @@ func (a *TicketAgent) Next(cycle uint64) *packet.Rqst {
 	switch a.state {
 	case ticketTake:
 		a.state = ticketWaitTake
-		r, err := sim.BuildCMC(hmccmd.CMC56, a.CUB, a.Addr, 0, 0, nil)
+		r, err := a.scratch.BuildCMC(hmccmd.CMC56, a.CUB, a.Addr, 0, 0, nil)
 		if err != nil {
 			panic(err)
 		}
@@ -64,14 +66,14 @@ func (a *TicketAgent) Next(cycle uint64) *packet.Rqst {
 	case ticketPoll:
 		a.state = ticketWaitPoll
 		a.Polls++
-		r, err := sim.BuildRead(a.CUB, a.Addr, 0, 0, 16)
+		r, err := a.scratch.BuildRead(a.CUB, a.Addr, 0, 0, 16)
 		if err != nil {
 			panic(err)
 		}
 		return r
 	case ticketRelease:
 		a.state = ticketWaitRelease
-		r, err := sim.BuildCMC(hmccmd.CMC57, a.CUB, a.Addr, 0, 0, nil)
+		r, err := a.scratch.BuildCMC(hmccmd.CMC57, a.CUB, a.Addr, 0, 0, nil)
 		if err != nil {
 			panic(err)
 		}
@@ -158,11 +160,10 @@ func RunTicketMutex(cfg config.Config, threads int, addr uint64, opts ...sim.Opt
 		}
 	}
 	agents := make([]Agent, threads)
-	ticks := make([]*TicketAgent, threads)
-	for i := range agents {
-		a := NewTicketAgent(0, addr)
-		ticks[i] = a
-		agents[i] = a
+	ticks := make([]TicketAgent, threads)
+	for i := range ticks {
+		ticks[i] = TicketAgent{Addr: addr}
+		agents[i] = &ticks[i]
 	}
 	res, err := Run(s, agents, 10_000_000)
 	if err != nil {
@@ -177,10 +178,10 @@ func RunTicketMutex(cfg config.Config, threads int, addr uint64, opts ...sim.Opt
 	}
 	tickets := make([]uint64, threads)
 	acquired := make([]uint64, threads)
-	for i, a := range ticks {
-		run.Polls += a.Polls
-		tickets[i] = a.Ticket()
-		acquired[i] = a.AcquiredAt
+	for i := range ticks {
+		run.Polls += ticks[i].Polls
+		tickets[i] = ticks[i].Ticket()
+		acquired[i] = ticks[i].AcquiredAt
 	}
 	run.Inversions = Inversions(tickets, acquired)
 

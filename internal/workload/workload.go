@@ -55,8 +55,19 @@ type Result struct {
 	Rqsts, SendStalls uint64
 }
 
+// agentState is the engine's per-agent bookkeeping, kept in one slice
+// (rather than parallel bool/pointer slices) so a run allocates once.
+type agentState struct {
+	outstanding bool // a response is in flight
+	done        bool
+	pending     *packet.Rqst // stalled request awaiting retry
+}
+
 // Run drives the agents against the simulator until every agent is done,
 // one issue/clock/drain step per device cycle.
+//
+// Responses are returned to the packet pool after each Complete call:
+// agents must not retain the response or its payload past Complete.
 func Run(s *sim.Simulator, agents []Agent, maxCycles uint64) (Result, error) {
 	if len(agents) > packet.MaxTag {
 		return Result{}, fmt.Errorf("%w: %d agents", ErrTooManyAgents, len(agents))
@@ -64,13 +75,11 @@ func Run(s *sim.Simulator, agents []Agent, maxCycles uint64) (Result, error) {
 	res := Result{CompletionCycles: make([]uint64, len(agents))}
 	links := s.Links()
 
-	outstanding := make([]bool, len(agents)) // a response is in flight
-	pending := make([]*packet.Rqst, len(agents))
-	done := make([]bool, len(agents))
+	state := make([]agentState, len(agents))
 	remaining := 0
 	for i, a := range agents {
 		if a.Done() {
-			done[i] = true
+			state[i].done = true
 			continue
 		}
 		remaining++
@@ -86,17 +95,18 @@ func Run(s *sim.Simulator, agents []Agent, maxCycles uint64) (Result, error) {
 		// agent order (deterministic host arbitration); stalled sends
 		// retry without consulting the agent again.
 		for i, a := range agents {
-			if done[i] || outstanding[i] {
+			st := &state[i]
+			if st.done || st.outstanding {
 				continue
 			}
-			r := pending[i]
+			r := st.pending
 			if r == nil {
 				r = a.Next(s.Cycle())
 				if r == nil {
-					if a.Done() && !done[i] {
+					if a.Done() && !st.done {
 						// Agent finished without a trailing response
 						// (e.g. a posted final op).
-						done[i] = true
+						st.done = true
 						res.CompletionCycles[i] = s.Cycle()
 						remaining--
 					}
@@ -106,11 +116,11 @@ func Run(s *sim.Simulator, agents []Agent, maxCycles uint64) (Result, error) {
 				r.SLID = uint8(i % links)
 			}
 			if err := s.Send(int(r.SLID), r); err != nil {
-				pending[i] = r // HMC_STALL: retry next cycle
+				st.pending = r // HMC_STALL: retry next cycle
 				res.SendStalls++
 				continue
 			}
-			pending[i] = nil
+			st.pending = nil
 			res.Rqsts++
 			if r.Cmd.Posted() {
 				// No response will arrive; the agent continues next cycle.
@@ -118,7 +128,7 @@ func Run(s *sim.Simulator, agents []Agent, maxCycles uint64) (Result, error) {
 					return res, fmt.Errorf("%w: agent %d: %v", ErrAgentFault, i, err)
 				}
 			} else {
-				outstanding[i] = true
+				st.outstanding = true
 			}
 		}
 
@@ -132,15 +142,17 @@ func Run(s *sim.Simulator, agents []Agent, maxCycles uint64) (Result, error) {
 					break
 				}
 				i := int(rsp.TAG)
-				if i >= len(agents) || !outstanding[i] {
+				if i >= len(agents) || !state[i].outstanding {
 					return res, fmt.Errorf("%w: response with unexpected tag %d", ErrAgentFault, rsp.TAG)
 				}
-				outstanding[i] = false
-				if err := agents[i].Complete(rsp, s.Cycle()); err != nil {
+				state[i].outstanding = false
+				err := agents[i].Complete(rsp, s.Cycle())
+				sim.ReleaseRsp(rsp)
+				if err != nil {
 					return res, fmt.Errorf("%w: agent %d: %v", ErrAgentFault, i, err)
 				}
-				if agents[i].Done() && !done[i] {
-					done[i] = true
+				if agents[i].Done() && !state[i].done {
+					state[i].done = true
 					res.CompletionCycles[i] = s.Cycle()
 					remaining--
 				}

@@ -29,19 +29,21 @@ func benchDevice(b *testing.B, cmcNames ...string) *Simulator {
 	return s
 }
 
-// roundTrip submits one request and clocks until its response arrives.
-func roundTrip(b *testing.B, s *Simulator, link int, r *Rqst) *Rsp {
+// roundTrip submits one request, clocks until its response arrives and
+// returns the response to the packet pool — the steady-state lifecycle
+// a well-behaved driver follows.
+func roundTrip(b *testing.B, s *Simulator, link int, r *Rqst) {
 	if err := s.Send(link, r); err != nil {
 		b.Fatal(err)
 	}
 	for c := 0; c < 16; c++ {
 		s.Clock()
 		if rsp, ok := s.Recv(link); ok {
-			return rsp
+			ReleaseRsp(rsp)
+			return
 		}
 	}
 	b.Fatal("no response within 16 cycles")
-	return nil
 }
 
 // BenchmarkClockLoopRead64 measures one uncongested RD64 round trip:
@@ -105,6 +107,74 @@ func BenchmarkClockLoopIdle(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Clock()
+	}
+}
+
+// --- Packet codec benchmarks ---
+
+// benchCMCRqst builds a representative 2-FLIT CMC request for the codec
+// benchmarks (the mutex workload's wire shape).
+func benchCMCRqst(b *testing.B) *Rqst {
+	b.Helper()
+	r, err := BuildCMC(hmccmd.CMC125, 0, 0x40, 3, 0, []uint64{7, 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkPacketEncode measures in-place request encoding into a
+// reused word buffer — the SendWire fast path.
+func BenchmarkPacketEncode(b *testing.B) {
+	r := benchCMCRqst(b)
+	buf := make([]uint64, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		words, err := r.EncodeInto(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = words
+	}
+}
+
+// BenchmarkPacketDecode measures in-place decoding (CRC check included)
+// into a reused request — the RecvWire fast path.
+func BenchmarkPacketDecode(b *testing.B) {
+	words, err := benchCMCRqst(b).Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var dst Rqst
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := DecodeRqstInto(&dst, words); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCRC measures the packet checksum over a maximum-length
+// (9-FLIT WR256) packet — the slicing-by-8 kernel.
+func BenchmarkCRC(b *testing.B) {
+	r, err := BuildWrite(0, 0x1000, 1, 0, make([]uint64, 32), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	words, err := r.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var dst Rqst
+	b.SetBytes(int64(len(words) * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := DecodeRqstInto(&dst, words); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -4,6 +4,11 @@
 # the performance trajectory across PRs. Compare against the table in
 # EXPERIMENTS.md ("Performance" section).
 #
+# After recording, the run is diffed against the most recent prior
+# BENCH_*.json: any benchmark whose ns/op grew by more than 10% prints a
+# WARNING (the script still exits 0 — benchmarks on shared hosts are
+# noisy; the warning is a prompt to re-run and investigate, not a gate).
+#
 # Usage: ./scripts/bench.sh [extra go test args]
 set -eu
 
@@ -13,7 +18,11 @@ out="BENCH_${date}.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench 'BenchmarkClockLoop|BenchmarkMutexSweep' \
+# Most recent prior baseline, captured before $out is (re)written.
+prev="$(ls BENCH_*.json 2>/dev/null | grep -v "^${out}\$" | sort | tail -1 || true)"
+
+go test -run '^$' \
+    -bench 'BenchmarkClockLoop|BenchmarkMutexSweep|BenchmarkPacket|BenchmarkCRC' \
     -benchmem -benchtime 1s "$@" . | tee "$raw"
 
 awk -v date="$date" '
@@ -37,3 +46,35 @@ awk -v date="$date" '
 ' "$raw" > "$out"
 
 echo "wrote $out"
+
+if [ -n "$prev" ] && [ -f "$prev" ]; then
+    echo "diff vs $prev (ns/op):"
+    awk -v prevfile="$prev" '
+      {
+        if (match($0, /"name": "[^"]+"/)) {
+          name = substr($0, RSTART + 9, RLENGTH - 10)
+          if (match($0, /"ns_per_op": [0-9.]+/)) {
+            ns = substr($0, RSTART + 13, RLENGTH - 13) + 0
+            if (FILENAME == prevfile) old[name] = ns
+            else new[name] = ns
+            if (!(name in seen)) { order[m++] = name; seen[name] = 1 }
+          }
+        }
+      }
+      END {
+        for (i = 0; i < m; i++) {
+          n = order[i]
+          if (!(n in new)) continue
+          if (!(n in old) || old[n] <= 0) {
+            printf "  %-32s %12.1f  (new benchmark)\n", n, new[n]
+            continue
+          }
+          growth = (new[n] - old[n]) / old[n] * 100
+          tag = (growth > 10) ? "  <-- WARNING: >10% ns/op growth" : ""
+          printf "  %-32s %12.1f -> %-12.1f %+6.1f%%%s\n", n, old[n], new[n], growth, tag
+        }
+      }
+    ' "$prev" "$out"
+else
+    echo "no prior BENCH_*.json to diff against"
+fi
