@@ -11,6 +11,9 @@
 //	hmc-bench -workers 1      # serial mutex sweep (default: all cores)
 //	hmc-bench -cpuprofile cpu.pprof -memprofile mem.pprof
 //	                          # capture pprof profiles of the full run
+//	hmc-bench -listen :8080   # live introspection endpoint while the
+//	                          # report runs (/metrics, /debug/vars,
+//	                          # /debug/pprof/)
 package main
 
 import (
@@ -35,7 +38,31 @@ func main() {
 	workers := flag.Int("workers", 0, "mutex sweep worker pool size (0 = one per host core, 1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
+	listen := flag.String("listen", "", "serve the live introspection endpoint on this address (e.g. :8080)")
 	flag.Parse()
+
+	// The sweeps build thousands of short-lived simulators, so the live
+	// endpoint carries aggregate sweep-progress counters (plus pprof and
+	// expvar for the process itself) rather than per-device instruments.
+	var progress func(hmcsim.MutexRun)
+	if *listen != "" {
+		reg := hmcsim.NewMetricsRegistry()
+		runs := reg.Counter("hmc_sweep_runs_completed_total")
+		trylocks := reg.Counter("hmc_sweep_trylocks_total")
+		stalls := reg.Counter("hmc_sweep_send_stalls_total")
+		lastThreads := reg.Gauge("hmc_sweep_last_threads")
+		progress = func(r hmcsim.MutexRun) {
+			runs.Inc()
+			trylocks.Add(r.Trylocks)
+			stalls.Add(r.SendStalls)
+			lastThreads.Set(int64(r.Threads))
+		}
+		ln, err := hmcsim.ServeMetrics(*listen, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "hmc-bench: serving metrics at http://%s/\n", ln.Addr())
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -58,7 +85,7 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := report(w, *lo, *hi, *workers); err != nil {
+	if err := report(w, *lo, *hi, *workers, progress); err != nil {
 		fatal(err)
 	}
 	if *out != "" {
@@ -83,7 +110,7 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func report(w io.Writer, lo, hi, workers int) error {
+func report(w io.Writer, lo, hi, workers int, progress func(hmcsim.MutexRun)) error {
 	fmt.Fprintln(w, "# HMC-Sim 2.0 reproduction report")
 	fmt.Fprintln(w)
 
@@ -93,11 +120,11 @@ func report(w io.Writer, lo, hi, workers int) error {
 	}
 	tableV(w)
 
-	four, err := hmcsim.MutexSweepParallel(hmcsim.FourLink4GB(), lo, hi, lockAddr, workers)
+	four, err := hmcsim.MutexSweepWithProgress(hmcsim.FourLink4GB(), lo, hi, lockAddr, workers, progress)
 	if err != nil {
 		return err
 	}
-	eight, err := hmcsim.MutexSweepParallel(hmcsim.EightLink8GB(), lo, hi, lockAddr, workers)
+	eight, err := hmcsim.MutexSweepWithProgress(hmcsim.EightLink8GB(), lo, hi, lockAddr, workers, progress)
 	if err != nil {
 		return err
 	}

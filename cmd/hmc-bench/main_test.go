@@ -10,7 +10,7 @@ import (
 // and checks every section of the paper's evaluation is present.
 func TestReportSections(t *testing.T) {
 	var buf bytes.Buffer
-	if err := report(&buf, 2, 8, 0); err != nil {
+	if err := report(&buf, 2, 8, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

@@ -12,6 +12,13 @@
 //	hmc-mutex -csv out.csv     # machine-readable sweep dump
 //	hmc-mutex -workers 0       # sweep across all host cores (default)
 //	hmc-mutex -workers 1       # serial sweep
+//
+// Observability:
+//
+//	hmc-mutex -listen :8080         # live endpoint: /metrics, /debug/vars, /debug/pprof/
+//	hmc-mutex -sample series.jsonl  # cycle-indexed time series from one
+//	                                # fully instrumented run per config
+//	                                # (tabulate with: hmc-trace -sample series.jsonl)
 package main
 
 import (
@@ -32,6 +39,10 @@ func main() {
 	tableOnly := flag.Bool("table", false, "print only Table VI")
 	csvPath := flag.String("csv", "", "write the full sweep to a CSV file")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = one per host core, 1 = serial)")
+	listen := flag.String("listen", "", "serve the live introspection endpoint on this address (e.g. :8080)")
+	samplePath := flag.String("sample", "", "write a cycle-indexed metrics time series (JSONL) from one instrumented run per config")
+	sampleEvery := flag.Uint64("sample-every", 64, "time-series sampling period in device cycles")
+	sampleThreads := flag.Int("sample-threads", 0, "thread count for the instrumented sample runs (0 = hi)")
 	flag.Parse()
 
 	if *lo < 2 || *hi < *lo {
@@ -39,13 +50,47 @@ func main() {
 		os.Exit(2)
 	}
 
-	four, err := hmcsim.MutexSweepParallel(hmcsim.FourLink4GB(), *lo, *hi, *addr, *workers)
+	// The sweep builds thousands of short-lived simulators, so the live
+	// endpoint exposes aggregate push counters fed by the per-run progress
+	// hook rather than registering every simulator.
+	var progress func(hmcsim.MutexRun)
+	if *listen != "" {
+		reg := hmcsim.NewMetricsRegistry()
+		runs := reg.Counter("hmc_sweep_runs_completed_total")
+		trylocks := reg.Counter("hmc_sweep_trylocks_total")
+		stalls := reg.Counter("hmc_sweep_send_stalls_total")
+		lastThreads := reg.Gauge("hmc_sweep_last_threads")
+		progress = func(r hmcsim.MutexRun) {
+			runs.Inc()
+			trylocks.Add(r.Trylocks)
+			stalls.Add(r.SendStalls)
+			lastThreads.Set(int64(r.Threads))
+		}
+		ln, err := hmcsim.ServeMetrics(*listen, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "hmc-mutex: serving metrics at http://%s/\n", ln.Addr())
+	}
+
+	four, err := hmcsim.MutexSweepWithProgress(hmcsim.FourLink4GB(), *lo, *hi, *addr, *workers, progress)
 	if err != nil {
 		fatal(err)
 	}
-	eight, err := hmcsim.MutexSweepParallel(hmcsim.EightLink8GB(), *lo, *hi, *addr, *workers)
+	eight, err := hmcsim.MutexSweepWithProgress(hmcsim.EightLink8GB(), *lo, *hi, *addr, *workers, progress)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *samplePath != "" {
+		threads := *sampleThreads
+		if threads <= 0 {
+			threads = *hi
+		}
+		if err := writeSampleSeries(*samplePath, *sampleEvery, threads, *addr); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (threads=%d, every %d cycles)\n", *samplePath, threads, *sampleEvery)
 	}
 
 	if *csvPath != "" {
@@ -74,6 +119,42 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "hmc-mutex:", err)
 	os.Exit(1)
+}
+
+// writeSampleSeries reruns the mutex workload once per configuration with
+// the full metrics stack attached — device counters, per-class latency
+// histograms, power gauges, workload completion histograms — sampling the
+// registry every `every` cycles into one shared JSONL stream. Each run is
+// tagged with its config and thread count, and a final unconditional
+// sample captures the end-of-run state (completion histograms fill after
+// the last periodic sample).
+func writeSampleSeries(path string, every uint64, threads int, lockAddr uint64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, cfg := range []hmcsim.Config{hmcsim.FourLink4GB(), hmcsim.EightLink8GB()} {
+		reg := hmcsim.NewMetricsRegistry()
+		sm := hmcsim.NewMetricsSampler(reg, f, every, hmcsim.WithSamplerTags(
+			hmcsim.MetricsL("config", cfg.String()),
+			hmcsim.MetricsL("threads", strconv.Itoa(threads)),
+		))
+		var handle *hmcsim.Simulator
+		if _, err := hmcsim.RunMutex(cfg, threads, lockAddr,
+			hmcsim.WithMetrics(reg),
+			hmcsim.WithSampler(sm),
+			hmcsim.WithPower(hmcsim.DefaultPowerParams()),
+			hmcsim.WithObserver(func(s *hmcsim.Simulator) { handle = s }),
+		); err != nil {
+			return fmt.Errorf("sample run %s: %w", cfg, err)
+		}
+		sm.Sample(handle.Cycle())
+		if err := sm.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func printTableVI(four, eight hmcsim.MutexSweepResult) {

@@ -39,6 +39,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/device"
 	"repro/internal/hmccmd"
+	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/power"
 	"repro/internal/sim"
@@ -222,6 +223,10 @@ var (
 	// across a bounded worker pool (workers <= 0 means one per host
 	// core) with results identical to — and ordered like — MutexSweep.
 	MutexSweepParallel = workload.MutexSweepParallel
+	// MutexSweepWithProgress additionally invokes a (thread-safe)
+	// callback per finished sweep point — the hook behind hmc-mutex's
+	// live metrics endpoint.
+	MutexSweepWithProgress = workload.MutexSweepWithProgress
 	// RunStream, RunGUPS and RunBFS run the supplementary kernels;
 	// RunTicketMutex runs the expressive-locks extension workload.
 	RunStream      = workload.RunStream
@@ -243,6 +248,52 @@ var (
 	RunBandwidthProbe = workload.RunBandwidthProbe
 	// TableII computes the paper's AMO-efficiency comparison.
 	TableII = cachemodel.TableII
+)
+
+// Observability: the unified metrics layer (registry, time-series
+// sampler, live introspection endpoint).
+type (
+	// MetricsRegistry holds named instruments: atomic counters, gauges
+	// and power-of-two histograms (zero-allocation hot path), plus pull
+	// Func instruments evaluated at scrape time.
+	MetricsRegistry = metrics.Registry
+	// Metric is one registered instrument.
+	Metric = metrics.Metric
+	// MetricsLabel is one key=value metric dimension; build with MetricsL.
+	MetricsLabel = metrics.Label
+	// MetricsSampler snapshots a registry every N cycles into a JSONL or
+	// CSV time series; attach with WithSampler.
+	MetricsSampler = metrics.Sampler
+	// MetricsSample is one parsed time-series record.
+	MetricsSample = metrics.Sample
+)
+
+// Observability constructors and helpers.
+var (
+	// NewMetricsRegistry builds an empty registry; pass it to WithMetrics
+	// to instrument a simulator.
+	NewMetricsRegistry = metrics.NewRegistry
+	// MetricsL builds one label.
+	MetricsL = metrics.L
+	// WithMetrics instruments a simulator's devices (and power model)
+	// against a registry; WithSampler attaches a cycle-indexed sampler.
+	WithMetrics = sim.WithMetrics
+	WithSampler = sim.WithSampler
+	// NewMetricsSampler builds a sampler over a registry;
+	// WithSamplerTags/WithSamplerFormat configure it.
+	NewMetricsSampler = metrics.NewSampler
+	WithSamplerTags   = metrics.WithTags
+	WithSamplerFormat = metrics.WithFormat
+	// ParseSamples reads a JSONL sample stream back;
+	// MetricsIntervalReport tabulates one into per-interval occupancy,
+	// bandwidth and power columns.
+	ParseSamples          = metrics.ParseSamples
+	MetricsIntervalReport = metrics.IntervalReport
+	// WritePrometheus renders a registry in the Prometheus text format;
+	// ServeMetrics starts the live introspection endpoint (/metrics,
+	// /debug/vars, /debug/pprof/).
+	WritePrometheus = metrics.WritePrometheus
+	ServeMetrics    = metrics.Serve
 )
 
 // Workload modes.

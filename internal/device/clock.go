@@ -78,6 +78,7 @@ func (d *Device) responsePhase() {
 				break // host not draining: wait
 			}
 			budget -= int(f.Rsp.LNG)
+			d.stats.RspFlits += uint64(f.Rsp.LNG)
 			q.Pop()
 			d.stats.Rsps++
 		}
@@ -266,6 +267,7 @@ func (d *Device) requestPhase() {
 				break
 			}
 			budget -= flits
+			d.stats.RqstFlits += uint64(flits)
 			l.rqst.Pop()
 		}
 	}

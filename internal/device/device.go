@@ -65,6 +65,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/hmccmd"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/trace"
 )
@@ -151,6 +152,10 @@ type Stats struct {
 	// LinkRetries counts completed link retry sequences (CRC-fault
 	// injection, Config.LinkFaultPeriod).
 	LinkRetries uint64
+	// RqstFlits and RspFlits count FLITs serialized across host links in
+	// each direction — the numerators of the effective link bandwidth
+	// (stats.LinkBandwidthGBs). Counted in the single-threaded link phases.
+	RqstFlits, RspFlits uint64
 	// RowHits and RowMisses count open-page outcomes when the row-buffer
 	// model is enabled (Config.RowMissPenaltyCycles).
 	RowHits, RowMisses uint64
@@ -238,6 +243,13 @@ type Device struct {
 	// the execute phase (active-vault list and per-worker stat partials).
 	execScratch    []int
 	partialScratch []Stats
+
+	// latHist, when RegisterMetrics has run, holds one end-to-end latency
+	// histogram per command class; Recv observes the send-to-recv cycle
+	// count into it. Observe is a handful of atomic ops and allocates
+	// nothing, so the host-path cost of enabling metrics is flat. Nil
+	// entries (metrics disabled) cost one branch.
+	latHist [hmccmd.NumClasses]*metrics.Histogram
 }
 
 // New builds a device from a configuration. A nil tracer disables
@@ -458,6 +470,9 @@ func (d *Device) Recv(link int) (*packet.Rsp, bool) {
 	// The adopted request and the Flight envelope return to the device
 	// pools; the response packet belongs to the host now.
 	if f.Rqst != nil {
+		if h := d.latHist[f.Rqst.Cmd.InfoRef().Class]; h != nil {
+			h.Observe(d.cycle - f.SendCycle)
+		}
 		d.putRqst(f.Rqst)
 	}
 	d.putFlight(f)

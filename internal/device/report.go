@@ -50,6 +50,9 @@ func (d *Device) BuildReport() Report {
 // the mean (1.0 = perfectly balanced; the paper's single-lock hot spot
 // approaches the vault count).
 func (r Report) LoadImbalance() float64 {
+	if len(r.VaultOps) == 0 {
+		return 0
+	}
 	var total, max uint64
 	for _, ops := range r.VaultOps {
 		total += ops
@@ -62,6 +65,15 @@ func (r Report) LoadImbalance() float64 {
 	}
 	mean := float64(total) / float64(len(r.VaultOps))
 	return float64(max) / mean
+}
+
+// OpsPerCycle returns executed requests per device cycle, or 0 for a
+// device that was never clocked.
+func (r Report) OpsPerCycle() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.TotalOps()) / float64(r.Cycles)
 }
 
 // TotalOps returns the total executed requests.

@@ -52,11 +52,44 @@ func TestBuildReport(t *testing.T) {
 	}
 }
 
+// TestReportZeroGuards table-drives the ratio accessors over degenerate
+// reports: never-clocked devices, zero-value reports with no vault slice,
+// and nonzero work — none may divide by zero (NaN/Inf would poison any
+// downstream aggregate or JSON encoding).
+func TestReportZeroGuards(t *testing.T) {
+	fresh := newDev(t, config.FourLink4GB()).BuildReport()
+	cases := []struct {
+		name          string
+		rep           Report
+		wantImbalance float64
+		wantOPC       float64
+	}{
+		{"fresh device, never clocked", fresh, 0, 0},
+		{"zero value (no vault slice)", Report{}, 0, 0},
+		{"zero cycles, nonzero ops", Report{VaultOps: []uint64{4, 0}}, 2, 0},
+		{"clocked but idle", Report{Cycles: 100, VaultOps: make([]uint64, 8)}, 0, 0},
+		{"balanced work", Report{Cycles: 10, VaultOps: []uint64{5, 5}}, 1, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.rep.LoadImbalance(); got != tc.wantImbalance {
+				t.Errorf("LoadImbalance = %v, want %v", got, tc.wantImbalance)
+			}
+			if got := tc.rep.OpsPerCycle(); got != tc.wantOPC {
+				t.Errorf("OpsPerCycle = %v, want %v", got, tc.wantOPC)
+			}
+		})
+	}
+}
+
 func TestReportEmptyDevice(t *testing.T) {
 	d := newDev(t, config.FourLink4GB())
 	rep := d.BuildReport()
-	if rep.TotalOps() != 0 || rep.LoadImbalance() != 0 {
+	if rep.TotalOps() != 0 || rep.LoadImbalance() != 0 || rep.OpsPerCycle() != 0 {
 		t.Errorf("empty report %+v", rep)
+	}
+	if rep.AvgLinkRqstOcc != 0 {
+		t.Errorf("AvgLinkRqstOcc = %v on an unclocked device", rep.AvgLinkRqstOcc)
 	}
 	if !strings.Contains(rep.String(), "0 requests executed") {
 		t.Errorf("report: %s", rep.String())

@@ -409,4 +409,3 @@ func (d *Device) errorRsp(f *Flight, errstat uint8, st *Stats) *packet.Rsp {
 	rsp.ERRSTAT = errstat
 	return rsp
 }
-

@@ -270,6 +270,10 @@ const (
 	numClass
 )
 
+// NumClasses is the number of command classes — the size callers use for
+// per-class arrays (e.g. the metrics layer's per-class latency histograms).
+const NumClasses = int(numClass)
+
 var classNames = [numClass]string{
 	ClassFlow:         "FLOW",
 	ClassRead:         "READ",

@@ -1,0 +1,181 @@
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (v0.0.4): one TYPE header per metric name, histograms as
+// cumulative _bucket series with power-of-two le bounds plus _sum and
+// _count.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	var err error
+	lastName := ""
+	r.Each(func(m *Metric) {
+		if err != nil {
+			return
+		}
+		if m.name != lastName {
+			_, err = fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind.prometheusType())
+			if err != nil {
+				return
+			}
+			lastName = m.name
+		}
+		if m.kind == KindHistogram {
+			err = writePrometheusHist(w, m)
+			return
+		}
+		_, err = fmt.Fprintf(w, "%s%s %v\n", m.name, prometheusLabels(m.labels, ""), m.Number())
+	})
+	return err
+}
+
+// prometheusLabels renders a label set ({k="v",...}), optionally with a
+// trailing le bucket bound. An empty set with no le renders as "".
+func prometheusLabels(labels []Label, le string) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "le=%q", le)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// writePrometheusHist emits one histogram's cumulative bucket series.
+// Buckets beyond the highest non-empty one are elided (their cumulative
+// count equals +Inf's), keeping a 65-bucket histogram's exposition short.
+func writePrometheusHist(w io.Writer, m *Metric) error {
+	s := m.h.Snapshot()
+	highest := -1
+	for i, c := range s.Buckets {
+		if c > 0 {
+			highest = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= highest; i++ {
+		cum += s.Buckets[i]
+		bound := uint64(1) << i
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			m.name, prometheusLabels(m.labels, fmt.Sprintf("%d", bound)), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, prometheusLabels(m.labels, "+Inf"), s.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", m.name, prometheusLabels(m.labels, ""), s.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.name, prometheusLabels(m.labels, ""), s.Count)
+	return err
+}
+
+// Map returns the registry as a plain JSON-marshalable map keyed by
+// canonical metric key: scalars as numbers, histograms as
+// {count,sum,min,max,avg} objects. This is the expvar view.
+func (r *Registry) Map() map[string]any {
+	out := make(map[string]any, r.Len())
+	r.Each(func(m *Metric) {
+		if s, ok := m.Histogram(); ok {
+			out[m.key] = map[string]any{
+				"count": s.Count, "sum": s.Sum, "min": s.Min, "max": s.Max, "avg": s.Avg(),
+			}
+			return
+		}
+		out[m.key] = m.Number()
+	})
+	return out
+}
+
+// expvarReg is the registry published under the "hmcsim" expvar; the
+// last registry handed to Handler/Serve wins (commands run one).
+var (
+	expvarReg  atomic.Pointer[Registry]
+	expvarOnce sync.Once
+)
+
+func publishExpvar(r *Registry) {
+	expvarReg.Store(r)
+	expvarOnce.Do(func() {
+		expvar.Publish("hmcsim", expvar.Func(func() any {
+			if reg := expvarReg.Load(); reg != nil {
+				return reg.Map()
+			}
+			return nil
+		}))
+	})
+}
+
+// Handler returns the live introspection endpoint for a registry:
+//
+//	/metrics      — Prometheus text exposition
+//	/debug/vars   — standard expvar JSON (registry published as "hmcsim")
+//	/debug/pprof/ — net/http/pprof profiles
+//	/             — a plain-text index of the above
+//
+// Scrapes concurrent with a running simulation read Func instruments
+// without synchronization; values are approximate until the run ends.
+func Handler(r *Registry) http.Handler {
+	publishExpvar(r)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, r)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprintln(w, "hmcsim introspection endpoint")
+		fmt.Fprintln(w, "  /metrics      Prometheus text format")
+		fmt.Fprintln(w, "  /debug/vars   expvar JSON")
+		fmt.Fprintln(w, "  /debug/pprof/ pprof profiles")
+	})
+	return mux
+}
+
+// Serve binds addr (":0" picks a free port) and serves Handler(r) in a
+// background goroutine for the life of the process. It returns the bound
+// listener so callers can print or dial the actual address.
+func Serve(addr string, r *Registry) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	go func() {
+		// The server lives until process exit; Serve only returns on
+		// listener close, at which point there is nothing to clean up.
+		_ = http.Serve(ln, Handler(r))
+	}()
+	return ln, nil
+}

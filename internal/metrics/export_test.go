@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func exportRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("hmc_test_rqsts_total", L("dev", "0")).Add(9)
+	r.Gauge("hmc_test_occupancy").Set(4)
+	h := r.Histogram("hmc_test_latency_cycles")
+	h.Observe(3)
+	h.Observe(3)
+	h.Observe(30)
+	r.GaugeFunc("hmc_test_power_watts", func() float64 { return 1.5 })
+	return r
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, exportRegistry()); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	got := b.String()
+	for _, want := range []string{
+		"# TYPE hmc_test_rqsts_total counter",
+		`hmc_test_rqsts_total{dev="0"} 9`,
+		"# TYPE hmc_test_occupancy gauge",
+		"hmc_test_occupancy 4",
+		"# TYPE hmc_test_latency_cycles histogram",
+		`hmc_test_latency_cycles_bucket{le="4"} 2`,  // 3,3 <= 4
+		`hmc_test_latency_cycles_bucket{le="32"} 3`, // +30
+		`hmc_test_latency_cycles_bucket{le="+Inf"} 3`,
+		"hmc_test_latency_cycles_sum 36",
+		"hmc_test_latency_cycles_count 3",
+		"# TYPE hmc_test_power_watts gauge",
+		"hmc_test_power_watts 1.5",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q:\n%s", want, got)
+		}
+	}
+	// Buckets past the highest non-empty one are elided.
+	if strings.Contains(got, `le="64"`) {
+		t.Errorf("exposition contains elidable bucket:\n%s", got)
+	}
+}
+
+func TestRegistryMap(t *testing.T) {
+	m := exportRegistry().Map()
+	if m["hmc_test_rqsts_total{dev=0}"] != float64(9) {
+		t.Errorf("counter in map = %v (%T)", m["hmc_test_rqsts_total{dev=0}"], m["hmc_test_rqsts_total{dev=0}"])
+	}
+	hist, ok := m["hmc_test_latency_cycles"].(map[string]any)
+	if !ok || hist["count"] != uint64(3) || hist["min"] != uint64(3) || hist["max"] != uint64(30) {
+		t.Errorf("histogram in map = %v", m["hmc_test_latency_cycles"])
+	}
+	// The whole map must be JSON-marshalable (it backs /debug/vars).
+	if _, err := json.Marshal(m); err != nil {
+		t.Errorf("Map not marshalable: %v", err)
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	ln, err := Serve("127.0.0.1:0", exportRegistry())
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer ln.Close()
+	base := "http://" + ln.Addr().String()
+
+	get := func(path string) (int, string, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	code, body, ct := get("/metrics")
+	if code != 200 || !strings.Contains(body, "hmc_test_rqsts_total") {
+		t.Errorf("/metrics: code=%d body=%q", code, body)
+	}
+	if !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics content-type = %q", ct)
+	}
+
+	code, body, _ = get("/debug/vars")
+	if code != 200 || !strings.Contains(body, "hmcsim") {
+		t.Errorf("/debug/vars: code=%d, hmcsim missing", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Errorf("/debug/vars not JSON: %v", err)
+	}
+
+	code, body, _ = get("/debug/pprof/cmdline")
+	if code != 200 || body == "" {
+		t.Errorf("/debug/pprof/cmdline: code=%d", code)
+	}
+
+	code, body, _ = get("/")
+	if code != 200 || !strings.Contains(body, "/metrics") {
+		t.Errorf("index: code=%d body=%q", code, body)
+	}
+	if code, _, _ = get("/nope"); code != 404 {
+		t.Errorf("unknown path code = %d, want 404", code)
+	}
+}

@@ -1,0 +1,182 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", L("dev", "0"))
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	// Same name+labels returns the same instrument.
+	if r.Counter("reqs_total", L("dev", "0")) != c {
+		t.Error("re-registration returned a different counter")
+	}
+	// Different labels are distinct.
+	if r.Counter("reqs_total", L("dev", "1")) == c {
+		t.Error("distinct labels shared an instrument")
+	}
+
+	g := r.Gauge("occupancy")
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Errorf("gauge = %d, want 4", g.Value())
+	}
+	if r.Len() != 3 {
+		t.Errorf("Len = %d, want 3", r.Len())
+	}
+}
+
+func TestLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("m", L("b", "2"), L("a", "1"))
+	bc := r.Counter("m", L("a", "1"), L("b", "2"))
+	if a != bc {
+		t.Error("label order changed metric identity")
+	}
+	m := r.Lookup("m", L("b", "2"), L("a", "1"))
+	if m == nil || m.Key() != "m{a=1,b=2}" {
+		t.Errorf("Lookup/Key = %v", m)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_cycles")
+	for _, v := range []uint64{6, 6, 9, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 4 || s.Sum != 121 || s.Min != 6 || s.Max != 100 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if got := s.Avg(); got != 121.0/4 {
+		t.Errorf("Avg = %v", got)
+	}
+	// Bucket layout matches stats.Histogram.
+	sh := s.Hist()
+	if sh.N() != 4 {
+		t.Errorf("stats view N = %d", sh.N())
+	}
+	if p := sh.Percentile(50); p != 8 {
+		t.Errorf("p50 = %d, want 8 (6,6,9,100 -> bucket (4,8])", p)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	s := NewHistogram().Snapshot()
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 || s.Avg() != 0 {
+		t.Errorf("empty snapshot = %+v avg=%v", s, s.Avg())
+	}
+}
+
+func TestFuncs(t *testing.T) {
+	r := NewRegistry()
+	v := uint64(41)
+	r.CounterFunc("pulled_total", func() uint64 { return v })
+	r.GaugeFunc("level", func() float64 { return 2.5 })
+	v++
+	m := r.Lookup("pulled_total")
+	if m == nil || m.Number() != 42 {
+		t.Errorf("CounterFunc read %v", m)
+	}
+	if g := r.Lookup("level"); g == nil || g.Number() != 2.5 {
+		t.Errorf("GaugeFunc read %v", g)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering x as gauge after counter did not panic")
+		}
+	}()
+	r.Gauge("x", L("dev", "0")) // same name, different kind
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid name did not panic")
+		}
+	}()
+	r.Counter("1bad name")
+}
+
+func TestEachSortedDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total")
+	r.Counter("a_total", L("dev", "1"))
+	r.Counter("a_total", L("dev", "0"))
+	var keys []string
+	r.Each(func(m *Metric) { keys = append(keys, m.Key()) })
+	want := "a_total{dev=0},a_total{dev=1},b_total"
+	if got := strings.Join(keys, ","); got != want {
+		t.Errorf("Each order = %s, want %s", got, want)
+	}
+}
+
+func TestMetricName(t *testing.T) {
+	if MetricName("a{b=c}") != "a" || MetricName("plain") != "plain" {
+		t.Error("MetricName parse")
+	}
+}
+
+// TestConcurrentHotPath exercises Inc/Observe from many goroutines under
+// the race detector (scripts/ci.sh runs this package with -race) and
+// checks the totals.
+func TestConcurrentHotPath(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	h := r.Histogram("h_cycles")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(seed + uint64(i)%17)
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if s := h.Snapshot(); s.Count != workers*per {
+		t.Errorf("histogram count = %d, want %d", s.Count, workers*per)
+	}
+}
+
+// TestHotPathZeroAlloc pins the documented zero-allocation contract of
+// the push instruments.
+func TestHotPathZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	g := r.Gauge("g")
+	h := r.Histogram("h_cycles")
+	n := uint64(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(int64(n))
+		g.Add(-1)
+		h.Observe(n)
+		n += 13
+	})
+	if allocs != 0 {
+		t.Errorf("hot path allocated %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,359 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// Format selects the sampler's output encoding.
+type Format uint8
+
+// Sampler output formats.
+const (
+	// FormatJSONL writes one JSON object per sample (ParseSamples reads
+	// it back).
+	FormatJSONL Format = iota
+	// FormatCSV writes a header row plus one row per sample; the column
+	// set is fixed by the first sample (instruments registered later are
+	// dropped).
+	FormatCSV
+)
+
+// Sample is one cycle-indexed snapshot of a registry — the unit of the
+// sampler's output stream and of ParseSamples' input.
+type Sample struct {
+	// Cycle is the device cycle the snapshot was taken on.
+	Cycle uint64 `json:"cycle"`
+	// Tags are the run's static dimensions (config, threads, ...), fixed
+	// at sampler construction.
+	Tags map[string]string `json:"tags,omitempty"`
+	// Values maps canonical metric keys to scalar values (counters
+	// cumulative since run start, gauges instantaneous).
+	Values map[string]float64 `json:"values,omitempty"`
+	// Hists maps canonical metric keys to histogram summaries
+	// (cumulative since run start).
+	Hists map[string]HistSummary `json:"hists,omitempty"`
+}
+
+// HistSummary is the wire form of a histogram snapshot: enough to
+// tabulate the paper's MIN/MAX/AVG_CYCLE metrics from a sample stream.
+type HistSummary struct {
+	Count uint64 `json:"count"`
+	Sum   uint64 `json:"sum"`
+	Min   uint64 `json:"min"`
+	Max   uint64 `json:"max"`
+}
+
+// Avg returns the mean sample, or 0 with no samples.
+func (h HistSummary) Avg() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Sampler periodically snapshots a registry into a cycle-indexed
+// time-series stream — the data behind the paper's Figures 5-7 style
+// plots (queue occupancy, bandwidth, power draw over time), producible
+// from a single run.
+//
+// MaybeSample is the clock hook: a modulo check and nothing else on
+// non-sample cycles, so attaching a sampler leaves the per-cycle cost of
+// the clock loop unchanged between samples. Sample cycles serialize the
+// registry (locking and allocating); amortize with the period.
+//
+// A Sampler is safe for concurrent use (samples are written atomically
+// under a mutex), so several instrumented runs may share one output
+// stream, distinguished by tags.
+type Sampler struct {
+	mu     sync.Mutex
+	reg    *Registry
+	w      *bufio.Writer
+	enc    *json.Encoder
+	every  uint64
+	format Format
+	tags   map[string]string
+	header []string // CSV column keys, fixed at first sample
+	err    error
+}
+
+// SamplerOption configures a Sampler.
+type SamplerOption func(*Sampler)
+
+// WithTags attaches static tags emitted in every sample.
+func WithTags(tags ...Label) SamplerOption {
+	return func(s *Sampler) {
+		if s.tags == nil {
+			s.tags = map[string]string{}
+		}
+		for _, t := range tags {
+			s.tags[t.Key] = t.Value
+		}
+	}
+}
+
+// WithFormat selects the output encoding (default FormatJSONL).
+func WithFormat(f Format) SamplerOption {
+	return func(s *Sampler) { s.format = f }
+}
+
+// NewSampler returns a sampler snapshotting reg into w every `every`
+// cycles (0 disables periodic sampling; explicit Sample calls still
+// work).
+func NewSampler(reg *Registry, w io.Writer, every uint64, opts ...SamplerOption) *Sampler {
+	bw := bufio.NewWriter(w)
+	s := &Sampler{reg: reg, w: bw, enc: json.NewEncoder(bw), every: every}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// MaybeSample snapshots the registry when cycle lands on the sampling
+// period. This is the hook simulators call once per clock.
+func (s *Sampler) MaybeSample(cycle uint64) {
+	if s.every == 0 || cycle%s.every != 0 {
+		return
+	}
+	s.Sample(cycle)
+}
+
+// Sample snapshots the registry unconditionally — how a driver records
+// the final state of a run whose last cycle does not land on the period.
+func (s *Sampler) Sample(cycle uint64) {
+	smp := Sample{
+		Cycle:  cycle,
+		Tags:   s.tags,
+		Values: map[string]float64{},
+		Hists:  map[string]HistSummary{},
+	}
+	s.reg.Each(func(m *Metric) {
+		if h, ok := m.Histogram(); ok {
+			smp.Hists[m.key] = HistSummary{Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max}
+			return
+		}
+		smp.Values[m.key] = m.Number()
+	})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	switch s.format {
+	case FormatCSV:
+		s.err = s.writeCSV(smp)
+	default:
+		s.err = s.enc.Encode(smp)
+	}
+}
+
+// writeCSV emits the header on the first sample, then one row per call.
+func (s *Sampler) writeCSV(smp Sample) error {
+	if s.header == nil {
+		tagKeys := sortedKeys(smp.Tags)
+		valKeys := sortedKeys(smp.Values)
+		histKeys := sortedKeys(smp.Hists)
+		s.header = append(s.header, "cycle")
+		s.header = append(s.header, tagKeys...)
+		s.header = append(s.header, valKeys...)
+		for _, k := range histKeys {
+			s.header = append(s.header, k+".count", k+".sum", k+".min", k+".max")
+		}
+		// Canonical keys separate labels with commas; the header row swaps
+		// them for semicolons so naive comma-splitting parses it.
+		display := make([]string, len(s.header))
+		for i, k := range s.header {
+			display[i] = strings.ReplaceAll(k, ",", ";")
+		}
+		if _, err := fmt.Fprintln(s.w, strings.Join(display, ",")); err != nil {
+			return err
+		}
+	}
+	row := make([]string, 0, len(s.header))
+	for _, col := range s.header {
+		row = append(row, csvCell(col, smp))
+	}
+	_, err := fmt.Fprintln(s.w, strings.Join(row, ","))
+	return err
+}
+
+// csvCell resolves one header column against a sample. Scalar metric
+// keys are checked before histogram suffixes so a label value containing
+// ".min" cannot shadow a real column.
+func csvCell(col string, smp Sample) string {
+	if col == "cycle" {
+		return strconv.FormatUint(smp.Cycle, 10)
+	}
+	if v, ok := smp.Values[col]; ok {
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	if dot := strings.LastIndexByte(col, '.'); dot >= 0 {
+		if h, ok := smp.Hists[col[:dot]]; ok {
+			switch col[dot+1:] {
+			case "count":
+				return strconv.FormatUint(h.Count, 10)
+			case "sum":
+				return strconv.FormatUint(h.Sum, 10)
+			case "min":
+				return strconv.FormatUint(h.Min, 10)
+			case "max":
+				return strconv.FormatUint(h.Max, 10)
+			}
+		}
+	}
+	return smp.Tags[col]
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Flush drains buffered samples to the underlying writer and reports the
+// first write error encountered, if any.
+func (s *Sampler) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// ParseSamples reads back a JSONL sample stream written by a
+// FormatJSONL Sampler.
+func ParseSamples(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	dec := json.NewDecoder(r)
+	for {
+		var s Sample
+		if err := dec.Decode(&s); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("metrics: parsing sample record %d: %w", len(out), err)
+		}
+		out = append(out, s)
+	}
+}
+
+// Conventional metric names the interval report understands. Components
+// registered through Device.RegisterMetrics and power.Model.RegisterMetrics
+// use these; README's "Observability" section documents the schema.
+const (
+	// NameLinkFlits counts FLITs serialized across host links
+	// (labels: dev, dir=rqst|rsp).
+	NameLinkFlits = "hmc_link_flits_total"
+	// NameRqsts counts executed requests (labels: dev, class).
+	NameRqsts = "hmc_device_rqsts_total"
+	// NameLinkRqstOcc / NameLinkRspOcc are instantaneous link queue
+	// occupancies (labels: dev, link).
+	NameLinkRqstOcc = "hmc_link_rqst_occupancy"
+	NameLinkRspOcc  = "hmc_link_rsp_occupancy"
+	// NameVaultOccTotal is the summed instantaneous vault request queue
+	// occupancy (label: dev).
+	NameVaultOccTotal = "hmc_vault_rqst_occupancy_total"
+	// NamePowerTotal is the cumulative energy estimate in picojoules.
+	NamePowerTotal = "hmc_power_total_pj"
+)
+
+// sumByName sums a sample's scalar values across all label variants of
+// one metric name.
+func sumByName(s Sample, name string) float64 {
+	var total float64
+	for k, v := range s.Values {
+		if MetricName(k) == name {
+			total += v
+		}
+	}
+	return total
+}
+
+// tagKey builds a deterministic group identity from a sample's tags.
+func tagKey(tags map[string]string) string {
+	if len(tags) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(tags))
+	for k, v := range tags {
+		parts = append(parts, k+"="+v)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " ")
+}
+
+// IntervalReport tabulates a sample stream per interval: executed
+// requests, link bandwidth (from the FLIT counters), queue occupancy and
+// power draw between consecutive samples, one table per distinct tag
+// set, followed by the final histogram summaries (the per-thread
+// MIN/MAX/AVG_CYCLE view). clockGHz converts cycles to time for the
+// bandwidth and power columns.
+func IntervalReport(samples []Sample, clockGHz float64) string {
+	var b strings.Builder
+	if len(samples) == 0 {
+		return "no samples\n"
+	}
+	groups := map[string][]Sample{}
+	var order []string
+	for _, s := range samples {
+		k := tagKey(s.Tags)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], s)
+	}
+	for gi, k := range order {
+		if gi > 0 {
+			fmt.Fprintln(&b)
+		}
+		if k != "" {
+			fmt.Fprintf(&b, "run: %s\n", k)
+		}
+		g := groups[k]
+		sort.Slice(g, func(i, j int) bool { return g[i].Cycle < g[j].Cycle })
+		fmt.Fprintf(&b, "%-12s %-8s %-10s %-12s %-10s %-10s %-10s\n",
+			"cycle", "dcyc", "rqsts", "linkGB/s", "linkOcc", "vaultOcc", "powerW")
+		for i := 1; i < len(g); i++ {
+			prev, cur := g[i-1], g[i]
+			dcyc := cur.Cycle - prev.Cycle
+			if dcyc == 0 {
+				continue
+			}
+			drqst := sumByName(cur, NameRqsts) - sumByName(prev, NameRqsts)
+			dflits := sumByName(cur, NameLinkFlits) - sumByName(prev, NameLinkFlits)
+			if dflits < 0 {
+				dflits = 0 // counters reset between runs sharing a tag set
+			}
+			bw := stats.LinkBandwidthGBs(uint64(dflits), dcyc, clockGHz)
+			linkOcc := sumByName(cur, NameLinkRqstOcc) + sumByName(cur, NameLinkRspOcc)
+			vaultOcc := sumByName(cur, NameVaultOccTotal)
+			dpj := sumByName(cur, NamePowerTotal) - sumByName(prev, NamePowerTotal)
+			seconds := float64(dcyc) / (clockGHz * 1e9)
+			watts := dpj * 1e-12 / seconds
+			fmt.Fprintf(&b, "%-12d %-8d %-10.0f %-12.2f %-10.0f %-10.0f %-10.3f\n",
+				cur.Cycle, dcyc, drqst, bw, linkOcc, vaultOcc, watts)
+		}
+		last := g[len(g)-1]
+		hk := sortedKeys(last.Hists)
+		for _, name := range hk {
+			h := last.Hists[name]
+			if h.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%s: n=%d min=%d max=%d avg=%.2f\n",
+				name, h.Count, h.Min, h.Max, h.Avg())
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleRegistry() (*Registry, *Counter, *Histogram) {
+	r := NewRegistry()
+	c := r.Counter(NameRqsts, L("dev", "0"))
+	h := r.Histogram("hmc_request_latency_cycles", L("dev", "0"))
+	r.Gauge(NameLinkRqstOcc, L("dev", "0"), L("link", "0")).Set(3)
+	return r, c, h
+}
+
+func TestSamplerRoundTrip(t *testing.T) {
+	r, c, h := sampleRegistry()
+	var buf bytes.Buffer
+	sm := NewSampler(r, &buf, 10, WithTags(L("config", "test"), L("threads", "4")))
+
+	c.Add(5)
+	h.Observe(12)
+	sm.MaybeSample(5) // off-period: no output
+	sm.MaybeSample(10)
+	c.Add(7)
+	h.Observe(40)
+	sm.MaybeSample(20)
+	if err := sm.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	samples, err := ParseSamples(&buf)
+	if err != nil {
+		t.Fatalf("ParseSamples: %v", err)
+	}
+	if len(samples) != 2 {
+		t.Fatalf("got %d samples, want 2", len(samples))
+	}
+	s0, s1 := samples[0], samples[1]
+	if s0.Cycle != 10 || s1.Cycle != 20 {
+		t.Errorf("cycles = %d, %d", s0.Cycle, s1.Cycle)
+	}
+	if s0.Tags["config"] != "test" || s0.Tags["threads"] != "4" {
+		t.Errorf("tags = %v", s0.Tags)
+	}
+	key := NameRqsts + "{dev=0}"
+	if s0.Values[key] != 5 || s1.Values[key] != 12 {
+		t.Errorf("counter values = %v, %v", s0.Values[key], s1.Values[key])
+	}
+	hk := "hmc_request_latency_cycles{dev=0}"
+	hs := s1.Hists[hk]
+	if hs.Count != 2 || hs.Sum != 52 || hs.Min != 12 || hs.Max != 40 {
+		t.Errorf("hist summary = %+v", hs)
+	}
+	occ := NameLinkRqstOcc + "{dev=0,link=0}"
+	if s1.Values[occ] != 3 {
+		t.Errorf("gauge value = %v", s1.Values[occ])
+	}
+}
+
+func TestSamplerDisabled(t *testing.T) {
+	r, _, _ := sampleRegistry()
+	var buf bytes.Buffer
+	sm := NewSampler(r, &buf, 0)
+	sm.MaybeSample(0)
+	sm.MaybeSample(64)
+	if err := sm.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("every=0 sampler wrote %q", buf.String())
+	}
+	// Explicit Sample still works.
+	sm.Sample(7)
+	_ = sm.Flush()
+	if buf.Len() == 0 {
+		t.Error("explicit Sample wrote nothing")
+	}
+}
+
+func TestSamplerCSV(t *testing.T) {
+	r, c, h := sampleRegistry()
+	var buf bytes.Buffer
+	sm := NewSampler(r, &buf, 10, WithFormat(FormatCSV), WithTags(L("config", "csv")))
+	c.Add(2)
+	h.Observe(5)
+	sm.Sample(10)
+	c.Add(2)
+	sm.Sample(20)
+	if err := sm.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want header + 2 rows:\n%s", len(lines), buf.String())
+	}
+	header := strings.Split(lines[0], ",")
+	if header[0] != "cycle" || header[1] != "config" {
+		t.Errorf("header = %v", header)
+	}
+	wantCols := []string{
+		NameRqsts + "{dev=0}",
+		NameLinkRqstOcc + "{dev=0;link=0}", // commas in keys become ';'
+		"hmc_request_latency_cycles{dev=0}.count",
+		"hmc_request_latency_cycles{dev=0}.min",
+	}
+	for _, w := range wantCols {
+		if !strings.Contains(lines[0], w) {
+			t.Errorf("header missing %q: %s", w, lines[0])
+		}
+	}
+	row1 := strings.Split(lines[1], ",")
+	if len(row1) != len(header) {
+		t.Errorf("row width %d != header width %d", len(row1), len(header))
+	}
+	if row1[0] != "10" || row1[1] != "csv" {
+		t.Errorf("row1 = %v", row1)
+	}
+}
+
+func TestIntervalReport(t *testing.T) {
+	mk := func(cycle uint64, rqsts, flits, pj float64) Sample {
+		return Sample{
+			Cycle: cycle,
+			Tags:  map[string]string{"threads": "4"},
+			Values: map[string]float64{
+				NameRqsts + "{dev=0}":              rqsts,
+				NameLinkFlits + "{dev=0,dir=rqst}": flits,
+				NameLinkRqstOcc + "{dev=0,link=0}": 2,
+				NameVaultOccTotal + "{dev=0}":      6,
+				NamePowerTotal + "{dev=0}":         pj,
+			},
+			Hists: map[string]HistSummary{
+				"hmc_workload_completion_cycles": {Count: 4, Sum: 400, Min: 50, Max: 200},
+			},
+		}
+	}
+	samples := []Sample{mk(100, 10, 160, 1e6), mk(200, 30, 480, 3e6)}
+	got := IntervalReport(samples, 1.25)
+	for _, want := range []string{
+		"run: threads=4",
+		"200", // second interval row
+		"hmc_workload_completion_cycles: n=4 min=50 max=200 avg=100.00",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+	// 320 flits over 100 cycles at 1.25 GHz = 320*16 B / 80 ns = 64 GB/s.
+	if !strings.Contains(got, "64.00") {
+		t.Errorf("report missing bandwidth 64.00:\n%s", got)
+	}
+	// 2e6 pJ over 80 ns = 25 W.
+	if !strings.Contains(got, "25.000") {
+		t.Errorf("report missing power 25.000:\n%s", got)
+	}
+
+	if got := IntervalReport(nil, 1.25); got != "no samples\n" {
+		t.Errorf("empty report = %q", got)
+	}
+}

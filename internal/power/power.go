@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/internal/hmccmd"
+	"repro/internal/metrics"
 )
 
 // Params holds the energy coefficients in picojoules.
@@ -98,6 +99,25 @@ func (m *Model) AvgPowerWatts(cycles uint64, clockGHz float64) float64 {
 	}
 	seconds := float64(cycles) / (clockGHz * 1e9)
 	return m.TotalPJ() * 1e-12 / seconds
+}
+
+// RegisterMetrics exposes the model's accumulated energy through a
+// metrics registry: per-component gauges (labeled comp=dram|xbar|serdes|
+// alu|static), the total as metrics.NamePowerTotal, and the charged
+// operation count. All are Func instruments — the charge paths stay
+// untouched; values are read only at scrape/sample time, unsynchronized
+// with a running clock.
+func (m *Model) RegisterMetrics(reg *metrics.Registry, labels ...metrics.Label) {
+	comp := func(name string, f func() float64, c string) {
+		reg.GaugeFunc(name, f, append(labels, metrics.L("comp", c))...)
+	}
+	comp("hmc_power_component_pj", func() float64 { return m.DRAM }, "dram")
+	comp("hmc_power_component_pj", func() float64 { return m.Xbar }, "xbar")
+	comp("hmc_power_component_pj", func() float64 { return m.SerDes }, "serdes")
+	comp("hmc_power_component_pj", func() float64 { return m.ALU }, "alu")
+	comp("hmc_power_component_pj", func() float64 { return m.Static }, "static")
+	reg.GaugeFunc(metrics.NamePowerTotal, m.TotalPJ, labels...)
+	reg.CounterFunc("hmc_power_ops_total", func() uint64 { return m.Ops }, labels...)
 }
 
 // String renders the component breakdown.

@@ -24,6 +24,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/hmccmd"
 	"repro/internal/jtag"
+	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/power"
 	"repro/internal/topo"
@@ -41,6 +42,8 @@ type options struct {
 	powerModel  *power.Model
 	observer    func(*Simulator)
 	workers     int
+	metricsReg  *metrics.Registry
+	sampler     *metrics.Sampler
 }
 
 // Option configures a Simulator.
@@ -75,6 +78,28 @@ func WithObserver(fn func(*Simulator)) Option {
 	return func(o *options) { o.observer = fn }
 }
 
+// WithMetrics registers the simulation's observability surface — every
+// device's counters, occupancy gauges and per-class latency histograms
+// (device.RegisterMetrics), plus the power model's energy gauges when the
+// extension is enabled — with reg. The registry is what the live
+// introspection endpoint (metrics.Serve) and the time-series sampler
+// read. The push instruments it enables keep the documented
+// zero-allocation hot path; the pull instruments cost nothing until
+// scraped. Use a fresh registry per simulator: the Func closures pin the
+// devices they read.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(o *options) { o.metricsReg = reg }
+}
+
+// WithSampler attaches a cycle-indexed time-series sampler: every Clock
+// calls MaybeSample, which snapshots the metrics registry whenever the
+// cycle lands on the sampler's period (a single modulo check otherwise).
+// Combine with WithMetrics on the same registry; the caller flushes the
+// sampler when the run ends.
+func WithSampler(sm *metrics.Sampler) Option {
+	return func(o *options) { o.sampler = sm }
+}
+
 // WithParallelClock services vaults with n worker goroutines during each
 // device's execute phase. The address map partitions memory by vault, so
 // results are identical to serial execution; large configurations with
@@ -87,10 +112,12 @@ func WithParallelClock(n int) Option {
 
 // Simulator is one simulation context.
 type Simulator struct {
-	cfg   config.Config
-	topo  *topo.Topology
-	pm    *power.Model
-	cycle uint64
+	cfg     config.Config
+	topo    *topo.Topology
+	pm      *power.Model
+	reg     *metrics.Registry
+	sampler *metrics.Sampler
+	cycle   uint64
 
 	// Wire-level scratch: SendWire decodes into wireRqst (adopted by the
 	// device before SendWire returns); RecvWire encodes into wire, which
@@ -137,6 +164,16 @@ func New(cfg config.Config, opts ...Option) (*Simulator, error) {
 			d.Workers = o.workers
 		}
 	}
+	if o.metricsReg != nil {
+		s.reg = o.metricsReg
+		for _, d := range tp.Devices() {
+			d.RegisterMetrics(s.reg)
+		}
+		if s.pm != nil {
+			s.pm.RegisterMetrics(s.reg)
+		}
+	}
+	s.sampler = o.sampler
 	if o.observer != nil {
 		o.observer(s)
 	}
@@ -155,6 +192,9 @@ func (s *Simulator) Clock() {
 	s.topo.Clock()
 	if s.pm != nil {
 		s.pm.ChargeCycles(uint64(len(s.topo.Devices())))
+	}
+	if s.sampler != nil {
+		s.sampler.MaybeSample(s.cycle)
 	}
 }
 
@@ -249,6 +289,15 @@ func (s *Simulator) JTAG(cub int) (*jtag.Port, error) {
 
 // Power returns the power model, or nil when the extension is disabled.
 func (s *Simulator) Power() *power.Model { return s.pm }
+
+// Metrics returns the registry attached via WithMetrics, or nil when
+// metrics are disabled. Layers above (e.g. the workload engine) use it to
+// register their own instruments against the same registry.
+func (s *Simulator) Metrics() *metrics.Registry { return s.reg }
+
+// Sampler returns the time-series sampler attached via WithSampler, or
+// nil. Drivers use it to force a final sample at run end before flushing.
+func (s *Simulator) Sampler() *metrics.Sampler { return s.sampler }
 
 // Links returns the number of host links.
 func (s *Simulator) Links() int { return s.cfg.Links }

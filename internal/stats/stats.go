@@ -67,24 +67,45 @@ func (s *Summary) String() string {
 	return fmt.Sprintf("min=%d max=%d avg=%.2f n=%d", s.min, s.max, s.Avg(), s.n)
 }
 
+// NumBuckets is the number of power-of-two histogram buckets (indices
+// 0..64, enough for any uint64 sample).
+const NumBuckets = 65
+
 // Histogram counts samples into power-of-two buckets: bucket i holds
 // samples v with 2^(i-1) < v <= 2^i (bucket 0 holds v <= 1).
 type Histogram struct {
-	buckets [65]uint64
+	buckets [NumBuckets]uint64
 	n       uint64
 }
 
 // Add records one sample.
 func (h *Histogram) Add(v uint64) {
-	h.buckets[bucketOf(v)]++
+	h.buckets[BucketOf(v)]++
 	h.n++
 }
 
-func bucketOf(v uint64) int {
+// BucketOf returns the bucket index for sample v: bucket i holds samples
+// with 2^(i-1) < v <= 2^i (bucket 0 holds v <= 1). The metrics layer's
+// atomic histograms share this mapping so their snapshots convert
+// losslessly into Histogram values.
+func BucketOf(v uint64) int {
 	if v <= 1 {
 		return 0
 	}
 	return bits.Len64(v - 1)
+}
+
+// HistogramFromBuckets reconstructs a Histogram from per-bucket counts —
+// the bridge from externally accumulated buckets (e.g. the metrics
+// registry's atomic histograms) back to the reporting helpers (String,
+// Percentile).
+func HistogramFromBuckets(buckets [NumBuckets]uint64) Histogram {
+	var h Histogram
+	for i, c := range buckets {
+		h.buckets[i] = c
+		h.n += c
+	}
+	return h
 }
 
 // N returns the sample count.

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -87,6 +88,97 @@ func TestJSONLRoundTrip(t *testing.T) {
 	}
 	if got[1].KindName != "CMC" {
 		t.Errorf("KindName = %q", got[1].KindName)
+	}
+}
+
+// TestJSONLRoundTripDeepEqual pins the full emit -> parse round trip:
+// one event of every kind with every field populated must come back
+// field-for-field identical (with KindName filled in by the sink).
+func TestJSONLRoundTripDeepEqual(t *testing.T) {
+	kinds := []Level{
+		LevelBank, LevelQueue, LevelLatency, LevelStall,
+		LevelRqst, LevelRsp, LevelCMC, LevelPower,
+	}
+	want := make([]Event, 0, len(kinds))
+	for i, k := range kinds {
+		want = append(want, Event{
+			Cycle: uint64(100 + i), Kind: k,
+			Dev: i % 2, Quad: i % 4, Vault: i, Bank: i % 8,
+			Cmd: "CMD" + k.String(), Tag: uint16(i),
+			Addr: 0x1000 + uint64(i)*64, Value: uint64(i) * 7,
+			Detail: "detail " + k.String(),
+		})
+	}
+	// Negative coordinates (the not-applicable marker) must survive too.
+	want = append(want, Event{
+		Cycle: 999, Kind: LevelStall, Dev: 0, Quad: -1, Vault: -1, Bank: -1,
+		Cmd: "RD64", Tag: 42, Addr: 0x40, Detail: "send stall",
+	})
+
+	var buf bytes.Buffer
+	tr := NewJSONL(&buf, LevelAll)
+	for _, e := range want {
+		tr.Emit(e)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sink stamps the textual category; mirror that in the expectation
+	// and then require exact equality.
+	for i := range want {
+		want[i].KindName = want[i].Kind.String()
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestAnalysisReportGolden pins the hmc-trace report format for a fixed
+// event stream. The exact text is a contract with log scrapers and with
+// the EXPERIMENTS.md transcripts.
+func TestAnalysisReportGolden(t *testing.T) {
+	events := []Event{
+		{Cycle: 10, Kind: LevelRqst, Vault: 3, Cmd: "WR64", Tag: 1, Addr: 0x40},
+		{Cycle: 11, Kind: LevelRqst, Vault: 3, Cmd: "RD64", Tag: 2, Addr: 0x40},
+		{Cycle: 12, Kind: LevelRqst, Vault: 5, Cmd: "RD64", Tag: 3, Addr: 0x80},
+		{Cycle: 13, Kind: LevelCMC, Vault: 3, Cmd: "hmc_lock", Tag: 1, Addr: 0x40},
+		{Cycle: 14, Kind: LevelLatency, Vault: -1, Cmd: "RD64", Tag: 2, Value: 3},
+		{Cycle: 15, Kind: LevelLatency, Vault: -1, Cmd: "RD64", Tag: 3, Value: 6},
+		{Cycle: 16, Kind: LevelStall, Vault: -1, Cmd: "WR64", Tag: 4, Addr: 0x40},
+	}
+	got := Analyze(events).Report(2)
+	want := `trace: 7 events over cycles 10..16
+
+events by category:
+  RQST       3
+  LATENCY    2
+  CMC        1
+  STALL      1
+
+top commands:
+  RD64           4
+  WR64           2
+
+CMC operations (by registered name):
+  hmc_lock       1
+
+round-trip latency: min=3 max=6 avg=4.50 n=2
+latency histogram: n=2 [3..4]=1 [5..8]=1
+p50 <= 4 cycles, p99 <= 8 cycles
+
+hottest vaults:
+  vault 3    2 requests
+  vault 5    1 requests
+`
+	if got != want {
+		t.Errorf("report diverged from golden:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	if got := Analyze(nil).Report(5); got != "empty trace\n" {
+		t.Errorf("empty analysis report = %q", got)
 	}
 }
 

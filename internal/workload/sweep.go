@@ -69,6 +69,16 @@ func RunIndexed[T any](workers, n int, job func(i int) (T, error)) ([]T, error) 
 // simulator, so results — including every cycle count and statistic —
 // are identical to the serial sweep; only wall time changes.
 func MutexSweepParallel(cfg config.Config, lo, hi int, lockAddr uint64, workers int) (MutexSweepResult, error) {
+	return MutexSweepWithProgress(cfg, lo, hi, lockAddr, workers, nil)
+}
+
+// MutexSweepWithProgress is MutexSweepParallel with a completion hook:
+// progress (when non-nil) is called once per finished sweep point, from
+// whichever worker goroutine finished it, so it must be safe for
+// concurrent use. The hmc-mutex command feeds its live metrics endpoint
+// from this hook (aggregate counters only — a sweep builds thousands of
+// short-lived simulators, too many to register individually).
+func MutexSweepWithProgress(cfg config.Config, lo, hi int, lockAddr uint64, workers int, progress func(MutexRun)) (MutexSweepResult, error) {
 	out := MutexSweepResult{Config: cfg}
 	if hi < lo {
 		return out, nil
@@ -77,6 +87,9 @@ func MutexSweepParallel(cfg config.Config, lo, hi int, lockAddr uint64, workers 
 		run, err := RunMutex(cfg, lo+i, lockAddr)
 		if err != nil {
 			return run, fmt.Errorf("threads=%d: %w", lo+i, err)
+		}
+		if progress != nil {
+			progress(run)
 		}
 		return run, nil
 	})

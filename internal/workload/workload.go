@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -61,7 +62,20 @@ type agentState struct {
 	outstanding bool // a response is in flight
 	done        bool
 	pending     *packet.Rqst // stalled request awaiting retry
+	issueCycle  uint64       // cycle the outstanding request was accepted on
 }
+
+// Workload-level metric names registered by Run when the simulator
+// carries a metrics registry (sim.WithMetrics).
+const (
+	// NameOpLatency is the per-operation issue-to-complete latency
+	// histogram, in device cycles. Its MIN/MAX/AVG view is the per-op
+	// refinement of the paper's per-thread cycle metrics.
+	NameOpLatency = "hmc_workload_op_latency_cycles"
+	// NameCompletion is the per-agent completion-cycle histogram — the
+	// distribution behind the paper's MIN/MAX/AVG_CYCLE table rows.
+	NameCompletion = "hmc_workload_completion_cycles"
+)
 
 // Run drives the agents against the simulator until every agent is done,
 // one issue/clock/drain step per device cycle.
@@ -74,6 +88,16 @@ func Run(s *sim.Simulator, agents []Agent, maxCycles uint64) (Result, error) {
 	}
 	res := Result{CompletionCycles: make([]uint64, len(agents))}
 	links := s.Links()
+
+	// With metrics enabled, observe per-op and per-agent latencies into
+	// push histograms: registration happens once here, and each Observe on
+	// the driving path is a few atomic ops — the engine stays
+	// allocation-free either way (the serial-sweep benchmarks count).
+	var opLat, completion *metrics.Histogram
+	if reg := s.Metrics(); reg != nil {
+		opLat = reg.Histogram(NameOpLatency)
+		completion = reg.Histogram(NameCompletion)
+	}
 
 	state := make([]agentState, len(agents))
 	remaining := 0
@@ -124,11 +148,15 @@ func Run(s *sim.Simulator, agents []Agent, maxCycles uint64) (Result, error) {
 			res.Rqsts++
 			if r.Cmd.Posted() {
 				// No response will arrive; the agent continues next cycle.
+				if opLat != nil {
+					opLat.Observe(0)
+				}
 				if err := a.Complete(nil, s.Cycle()); err != nil {
 					return res, fmt.Errorf("%w: agent %d: %v", ErrAgentFault, i, err)
 				}
 			} else {
 				st.outstanding = true
+				st.issueCycle = s.Cycle()
 			}
 		}
 
@@ -146,6 +174,9 @@ func Run(s *sim.Simulator, agents []Agent, maxCycles uint64) (Result, error) {
 					return res, fmt.Errorf("%w: response with unexpected tag %d", ErrAgentFault, rsp.TAG)
 				}
 				state[i].outstanding = false
+				if opLat != nil {
+					opLat.Observe(s.Cycle() - state[i].issueCycle)
+				}
 				err := agents[i].Complete(rsp, s.Cycle())
 				sim.ReleaseRsp(rsp)
 				if err != nil {
@@ -162,6 +193,9 @@ func Run(s *sim.Simulator, agents []Agent, maxCycles uint64) (Result, error) {
 
 	for _, c := range res.CompletionCycles {
 		res.Summary.Add(c)
+		if completion != nil {
+			completion.Observe(c)
+		}
 	}
 	res.Cycles = s.Cycle()
 	return res, nil

@@ -206,3 +206,98 @@ func BenchmarkMutexSweepParallel(b *testing.B) {
 		}
 	}
 }
+
+// --- Metrics hot-path benchmarks ---
+
+// BenchmarkMetricsCounterInc measures the push-counter hot path — the
+// documented zero-allocation contract (one atomic add).
+func BenchmarkMetricsCounterInc(b *testing.B) {
+	c := NewMetricsRegistry().Counter("bench_total", MetricsL("dev", "0"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkMetricsHistogramObserve measures the push-histogram hot path:
+// bucket add, sum, count and two bounded min/max CAS loops.
+func BenchmarkMetricsHistogramObserve(b *testing.B) {
+	h := NewMetricsRegistry().Histogram("bench_cycles", MetricsL("dev", "0"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i) & 1023)
+	}
+}
+
+// BenchmarkClockLoopRead64Metrics is BenchmarkClockLoopRead64 with the
+// full metrics stack registered — device Func instruments plus the
+// per-class latency histogram observed on every Recv. allocs/op must
+// stay 0: enabling metrics may not regress the zero-allocation packet
+// path (TestClockLoopZeroAllocWithMetrics pins this).
+func BenchmarkClockLoopRead64Metrics(b *testing.B) {
+	reg := NewMetricsRegistry()
+	s, err := New(FourLink4GB(), WithMetrics(reg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := BuildRead(0, 0x1000, 1, 0, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		roundTrip(b, s, 0, r)
+	}
+}
+
+// TestMetricsHotPathZeroAlloc pins the acceptance criterion directly:
+// Inc and Observe allocate nothing.
+func TestMetricsHotPathZeroAlloc(t *testing.T) {
+	reg := NewMetricsRegistry()
+	c := reg.Counter("t_total")
+	h := reg.Histogram("t_cycles")
+	n := uint64(0)
+	if allocs := testing.AllocsPerRun(500, func() {
+		c.Inc()
+		h.Observe(n)
+		n += 97
+	}); allocs != 0 {
+		t.Errorf("metrics hot path: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestClockLoopZeroAllocWithMetrics pins the tentpole acceptance
+// criterion: a steady-state request round trip stays allocation-free
+// with the metrics layer enabled (Func instruments idle, latency
+// histogram observed on every Recv).
+func TestClockLoopZeroAllocWithMetrics(t *testing.T) {
+	reg := NewMetricsRegistry()
+	s, err := New(FourLink4GB(), WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := BuildRead(0, 0x1000, 1, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trip := func() {
+		if err := s.Send(0, r); err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < 16; c++ {
+			s.Clock()
+			if rsp, ok := s.Recv(0); ok {
+				ReleaseRsp(rsp)
+				return
+			}
+		}
+		t.Fatal("no response within 16 cycles")
+	}
+	trip() // warm the pools before counting
+	if allocs := testing.AllocsPerRun(200, trip); allocs != 0 {
+		t.Errorf("instrumented round trip: %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # CI gate: build, vet, full test suite, then the race detector over the
 # packages with concurrent hot paths (the parallel clock, the sharded
-# store, and the sim-layer composition of both), and finally a
+# store, the atomic metrics registry, and the sim-layer composition of
+# all three), and finally a
 # 1-iteration benchmark smoke so every benchmark at least compiles and
 # executes (~5s; it measures nothing).
 set -eux
@@ -9,6 +10,6 @@ set -eux
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/device ./internal/mem ./internal/sim
+go test -race ./internal/device ./internal/mem ./internal/metrics ./internal/sim
 go test -race -run 'TestParallelClock|TestClockModeEquivalence' .
 go test -run '^$' -bench . -benchtime 1x ./...
