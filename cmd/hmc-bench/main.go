@@ -39,7 +39,21 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	listen := flag.String("listen", "", "serve the live introspection endpoint on this address (e.g. :8080)")
+	faultRate := flag.Float64("fault-rate", 0, "per-traversal link fault probability in [0,1] (0 disables injection)")
+	faultSeed := flag.Uint64("fault-seed", 1, "fault injection seed; the same seed reproduces the exact fault sequence")
+	faultKinds := flag.String("fault-kinds", "all", "comma-separated fault kinds: crc, flip, drop, down or all")
 	flag.Parse()
+
+	var opts []hmcsim.Option
+	var plan hmcsim.FaultPlan
+	if *faultRate > 0 {
+		kinds, err := hmcsim.ParseFaultKinds(*faultKinds)
+		if err != nil {
+			fatal(err)
+		}
+		plan = hmcsim.FaultPlan{Rate: *faultRate, Seed: *faultSeed, Kinds: kinds}
+		opts = append(opts, hmcsim.WithFaults(plan))
+	}
 
 	// The sweeps build thousands of short-lived simulators, so the live
 	// endpoint carries aggregate sweep-progress counters (plus pprof and
@@ -85,7 +99,7 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := report(w, *lo, *hi, *workers, progress); err != nil {
+	if err := report(w, *lo, *hi, *workers, progress, plan, opts); err != nil {
 		fatal(err)
 	}
 	if *out != "" {
@@ -110,9 +124,14 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func report(w io.Writer, lo, hi, workers int, progress func(hmcsim.MutexRun)) error {
+func report(w io.Writer, lo, hi, workers int, progress func(hmcsim.MutexRun), plan hmcsim.FaultPlan, opts []hmcsim.Option) error {
 	fmt.Fprintln(w, "# HMC-Sim 2.0 reproduction report")
 	fmt.Fprintln(w)
+	if plan.Enabled() {
+		fmt.Fprintf(w, "All simulations run with link fault injection: %v.\n", plan)
+		fmt.Fprintln(w, "Results remain functionally identical; cycle counts include retry latency.")
+		fmt.Fprintln(w)
+	}
 
 	tableI(w)
 	if err := tableII(w); err != nil {
@@ -120,20 +139,20 @@ func report(w io.Writer, lo, hi, workers int, progress func(hmcsim.MutexRun)) er
 	}
 	tableV(w)
 
-	four, err := hmcsim.MutexSweepWithProgress(hmcsim.FourLink4GB(), lo, hi, lockAddr, workers, progress)
+	four, err := hmcsim.MutexSweepWithProgress(hmcsim.FourLink4GB(), lo, hi, lockAddr, workers, progress, opts...)
 	if err != nil {
 		return err
 	}
-	eight, err := hmcsim.MutexSweepWithProgress(hmcsim.EightLink8GB(), lo, hi, lockAddr, workers, progress)
+	eight, err := hmcsim.MutexSweepWithProgress(hmcsim.EightLink8GB(), lo, hi, lockAddr, workers, progress, opts...)
 	if err != nil {
 		return err
 	}
 	tableVI(w, four, eight)
 	figures(w, four, eight)
-	if err := supplementary(w); err != nil {
+	if err := supplementary(w, opts); err != nil {
 		return err
 	}
-	return ablations(w)
+	return ablations(w, opts)
 }
 
 func tableI(w io.Writer) {
@@ -217,31 +236,31 @@ func figures(w io.Writer, four, eight hmcsim.MutexSweepResult) {
 	}
 }
 
-func supplementary(w io.Writer) error {
+func supplementary(w io.Writer, opts []hmcsim.Option) error {
 	fmt.Fprintln(w, "## Supplementary kernels")
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "| Kernel | Config | Cycles | Note |")
 	fmt.Fprintln(w, "|---|---|---|---|")
-	st, err := hmcsim.RunStream(hmcsim.FourLink4GB(), 16, 256, 1.25)
+	st, err := hmcsim.RunStream(hmcsim.FourLink4GB(), 16, 256, 1.25, opts...)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "| STREAM Triad (16 thr) | 4Link-4GB | %d | %.1f bytes/cycle |\n", st.Cycles, st.BytesPerCycle)
-	base, err := hmcsim.RunGUPS(hmcsim.FourLink4GB(), hmcsim.GUPSBaseline, 16, 4096, 1600)
+	base, err := hmcsim.RunGUPS(hmcsim.FourLink4GB(), hmcsim.GUPSBaseline, 16, 4096, 1600, opts...)
 	if err != nil {
 		return err
 	}
-	amo, err := hmcsim.RunGUPS(hmcsim.FourLink4GB(), hmcsim.GUPSAtomic, 16, 4096, 1600)
+	amo, err := hmcsim.RunGUPS(hmcsim.FourLink4GB(), hmcsim.GUPSAtomic, 16, 4096, 1600, opts...)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "| RandomAccess baseline | 4Link-4GB | %d | %d FLITs |\n", base.Cycles, base.Flits)
 	fmt.Fprintf(w, "| RandomAccess XOR16 | 4Link-4GB | %d | %.2fx speedup |\n", amo.Cycles, float64(base.Cycles)/float64(amo.Cycles))
-	bb, err := hmcsim.RunBFS(hmcsim.FourLink4GB(), hmcsim.BFSBaseline, 16, 2000, 4, 99)
+	bb, err := hmcsim.RunBFS(hmcsim.FourLink4GB(), hmcsim.BFSBaseline, 16, 2000, 4, 99, opts...)
 	if err != nil {
 		return err
 	}
-	bc, err := hmcsim.RunBFS(hmcsim.FourLink4GB(), hmcsim.BFSCMC, 16, 2000, 4, 99)
+	bc, err := hmcsim.RunBFS(hmcsim.FourLink4GB(), hmcsim.BFSCMC, 16, 2000, 4, 99, opts...)
 	if err != nil {
 		return err
 	}
@@ -251,7 +270,7 @@ func supplementary(w io.Writer) error {
 	return nil
 }
 
-func ablations(w io.Writer) error {
+func ablations(w io.Writer, opts []hmcsim.Option) error {
 	fmt.Fprintln(w, "## Ablations")
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "| Knob | Setting | 4Link max | 8Link max |")
@@ -261,21 +280,21 @@ func ablations(w io.Writer) error {
 		cfg4.LinkFlitsPerCycle = flits
 		cfg8 := hmcsim.EightLink8GB()
 		cfg8.LinkFlitsPerCycle = flits
-		r4, err := hmcsim.RunMutex(cfg4, 100, lockAddr)
+		r4, err := hmcsim.RunMutex(cfg4, 100, lockAddr, opts...)
 		if err != nil {
 			return err
 		}
-		r8, err := hmcsim.RunMutex(cfg8, 100, lockAddr)
+		r8, err := hmcsim.RunMutex(cfg8, 100, lockAddr, opts...)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "| link FLITs/cycle | %d | %d | %d |\n", flits, r4.Max, r8.Max)
 	}
-	spin, err := hmcsim.RunMutex(hmcsim.FourLink4GB(), 64, lockAddr)
+	spin, err := hmcsim.RunMutex(hmcsim.FourLink4GB(), 64, lockAddr, opts...)
 	if err != nil {
 		return err
 	}
-	ticket, err := hmcsim.RunTicketMutex(hmcsim.FourLink4GB(), 64, lockAddr)
+	ticket, err := hmcsim.RunTicketMutex(hmcsim.FourLink4GB(), 64, lockAddr, opts...)
 	if err != nil {
 		return err
 	}

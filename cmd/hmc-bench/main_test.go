@@ -4,13 +4,15 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	hmcsim "repro"
 )
 
 // TestReportSections runs the full report generator over a small sweep
 // and checks every section of the paper's evaluation is present.
 func TestReportSections(t *testing.T) {
 	var buf bytes.Buffer
-	if err := report(&buf, 2, 8, 0, nil); err != nil {
+	if err := report(&buf, 2, 8, 0, nil, hmcsim.FaultPlan{}, nil); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -37,5 +39,24 @@ func TestReportSections(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q", want)
 		}
+	}
+}
+
+// TestReportUnderFaults regenerates a small report with 1% fault
+// injection: every experiment must still complete, and the banner must
+// record the plan.
+func TestReportUnderFaults(t *testing.T) {
+	plan := hmcsim.FaultPlan{Rate: 0.01, Seed: 42}
+	var buf bytes.Buffer
+	err := report(&buf, 2, 4, 0, nil, plan, []hmcsim.Option{hmcsim.WithFaults(plan)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "link fault injection") {
+		t.Error("report missing the fault-injection banner")
+	}
+	if !strings.Contains(out, "## Table VI: mutex sweep extrema") {
+		t.Error("faulted report missing Table VI")
 	}
 }

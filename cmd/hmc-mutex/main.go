@@ -43,11 +43,25 @@ func main() {
 	samplePath := flag.String("sample", "", "write a cycle-indexed metrics time series (JSONL) from one instrumented run per config")
 	sampleEvery := flag.Uint64("sample-every", 64, "time-series sampling period in device cycles")
 	sampleThreads := flag.Int("sample-threads", 0, "thread count for the instrumented sample runs (0 = hi)")
+	faultRate := flag.Float64("fault-rate", 0, "per-traversal link fault probability in [0,1] (0 disables injection)")
+	faultSeed := flag.Uint64("fault-seed", 1, "fault injection seed; the same seed reproduces the exact fault sequence")
+	faultKinds := flag.String("fault-kinds", "all", "comma-separated fault kinds: crc, flip, drop, down or all")
 	flag.Parse()
 
 	if *lo < 2 || *hi < *lo {
 		fmt.Fprintln(os.Stderr, "hmc-mutex: need 2 <= lo <= hi")
 		os.Exit(2)
+	}
+
+	var opts []hmcsim.Option
+	if *faultRate > 0 {
+		kinds, err := hmcsim.ParseFaultKinds(*faultKinds)
+		if err != nil {
+			fatal(err)
+		}
+		plan := hmcsim.FaultPlan{Rate: *faultRate, Seed: *faultSeed, Kinds: kinds}
+		opts = append(opts, hmcsim.WithFaults(plan))
+		fmt.Fprintf(os.Stderr, "hmc-mutex: fault injection: %v\n", plan)
 	}
 
 	// The sweep builds thousands of short-lived simulators, so the live
@@ -73,11 +87,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hmc-mutex: serving metrics at http://%s/\n", ln.Addr())
 	}
 
-	four, err := hmcsim.MutexSweepWithProgress(hmcsim.FourLink4GB(), *lo, *hi, *addr, *workers, progress)
+	four, err := hmcsim.MutexSweepWithProgress(hmcsim.FourLink4GB(), *lo, *hi, *addr, *workers, progress, opts...)
 	if err != nil {
 		fatal(err)
 	}
-	eight, err := hmcsim.MutexSweepWithProgress(hmcsim.EightLink8GB(), *lo, *hi, *addr, *workers, progress)
+	eight, err := hmcsim.MutexSweepWithProgress(hmcsim.EightLink8GB(), *lo, *hi, *addr, *workers, progress, opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -87,7 +101,7 @@ func main() {
 		if threads <= 0 {
 			threads = *hi
 		}
-		if err := writeSampleSeries(*samplePath, *sampleEvery, threads, *addr); err != nil {
+		if err := writeSampleSeries(*samplePath, *sampleEvery, threads, *addr, opts); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s (threads=%d, every %d cycles)\n", *samplePath, threads, *sampleEvery)
@@ -128,7 +142,7 @@ func fatal(err error) {
 // tagged with its config and thread count, and a final unconditional
 // sample captures the end-of-run state (completion histograms fill after
 // the last periodic sample).
-func writeSampleSeries(path string, every uint64, threads int, lockAddr uint64) error {
+func writeSampleSeries(path string, every uint64, threads int, lockAddr uint64, extra []hmcsim.Option) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -141,12 +155,13 @@ func writeSampleSeries(path string, every uint64, threads int, lockAddr uint64) 
 			hmcsim.MetricsL("threads", strconv.Itoa(threads)),
 		))
 		var handle *hmcsim.Simulator
-		if _, err := hmcsim.RunMutex(cfg, threads, lockAddr,
+		opts := append([]hmcsim.Option{
 			hmcsim.WithMetrics(reg),
 			hmcsim.WithSampler(sm),
 			hmcsim.WithPower(hmcsim.DefaultPowerParams()),
 			hmcsim.WithObserver(func(s *hmcsim.Simulator) { handle = s }),
-		); err != nil {
+		}, extra...)
+		if _, err := hmcsim.RunMutex(cfg, threads, lockAddr, opts...); err != nil {
 			return fmt.Errorf("sample run %s: %w", cfg, err)
 		}
 		sm.Sample(handle.Cycle())

@@ -48,6 +48,9 @@ func main() {
 	replayFile := flag.String("replay-file", "", "replay: request trace file")
 	replayPattern := flag.String("replay-pattern", "stride", "replay: generated pattern when no file is given (stride or random)")
 	replayOps := flag.Int("replay-ops", 1024, "replay: generated request count")
+	faultRate := flag.Float64("fault-rate", 0, "per-traversal link fault probability in [0,1] (0 disables injection)")
+	faultSeed := flag.Uint64("fault-seed", 1, "fault injection seed; the same seed reproduces the exact fault sequence")
+	faultKinds := flag.String("fault-kinds", "all", "comma-separated fault kinds: crc, flip, drop, down or all")
 	flag.Parse()
 
 	if *printCommands {
@@ -113,6 +116,15 @@ func main() {
 	var simRef *hmcsim.Simulator
 	if *showStats {
 		opts = append(opts, hmcsim.WithObserver(func(s *hmcsim.Simulator) { simRef = s }))
+	}
+	if *faultRate > 0 {
+		kinds, err := hmcsim.ParseFaultKinds(*faultKinds)
+		if err != nil {
+			fatal(err)
+		}
+		plan := hmcsim.FaultPlan{Rate: *faultRate, Seed: *faultSeed, Kinds: kinds}
+		opts = append(opts, hmcsim.WithFaults(plan))
+		fmt.Printf("fault injection: %v\n", plan)
 	}
 	if *devices > 1 || *topoName != "single" {
 		kind, err := topoKind(*topoName)

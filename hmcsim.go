@@ -38,6 +38,7 @@ import (
 	"repro/internal/cmc/script"
 	"repro/internal/config"
 	"repro/internal/device"
+	"repro/internal/fault"
 	"repro/internal/hmccmd"
 	"repro/internal/metrics"
 	"repro/internal/packet"
@@ -302,4 +303,51 @@ const (
 	GUPSAtomic   = workload.GUPSAtomic
 	BFSBaseline  = workload.BFSBaseline
 	BFSCMC       = workload.BFSCMC
+)
+
+// Reliability: seed-deterministic fault injection and the Gen2
+// link-retry protocol.
+type (
+	// FaultPlan configures injection: a per-traversal Bernoulli rate, a
+	// PRNG seed (the same seed reproduces the exact fault sequence), and
+	// the kinds to draw from. Install with WithFaults or
+	// Device.SetFaultPlan.
+	FaultPlan = fault.Plan
+	// FaultKind is a bitmask of fault categories.
+	FaultKind = fault.Kind
+)
+
+// Fault kinds for FaultPlan.Kinds.
+const (
+	// FaultCRC flips a bit in a packet's CRC field; FaultFlip flips a
+	// random wire bit. Both are caught by CRC verification and retried.
+	FaultCRC  = fault.CRC
+	FaultFlip = fault.Flip
+	// FaultDrop discards a whole packet; the sender retransmits after a
+	// timeout. FaultDown takes the link down for a transient window.
+	FaultDrop = fault.Drop
+	FaultDown = fault.Down
+	FaultAll  = fault.All
+)
+
+// LinkRetrySlots is the depth of each direction's Gen2 retry buffer:
+// packets await acknowledgement in a ring keyed by their 3-bit SEQ, and
+// a full ring stalls the link (DeviceStats.RetryBufStalls).
+const LinkRetrySlots = device.RetrySlots
+
+// Reliability options, helpers and errors.
+var (
+	// WithFaults installs a fault plan on every device of the simulation.
+	WithFaults = sim.WithFaults
+	// ParseFaultKinds parses a comma-separated kind list ("crc,drop",
+	// "all", "flip,down").
+	ParseFaultKinds = fault.ParseKinds
+	// ErrRetryTimeout reports a Simulator.SendWithRetry call that
+	// exhausted its cycle budget against a persistently stalled link.
+	ErrRetryTimeout = sim.ErrRetryTimeout
+	// VerifyCRC checks an encoded packet's tail CRC, returning ErrBadCRC
+	// on mismatch; RefreshCRC recomputes it after mutating wire words.
+	VerifyCRC  = packet.VerifyCRC
+	RefreshCRC = packet.RefreshCRC
+	ErrBadCRC  = packet.ErrBadCRC
 )

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/packet"
 	"repro/internal/trace"
 )
@@ -71,11 +72,15 @@ func (d *Device) responsePhase() {
 			}
 			// Link retry protocol: a packet whose CRC arrives bad is
 			// retransmitted after the retry sequence completes.
-			if stop := d.linkFault(l, &l.rspTraversals, &l.rspRetryUntil, nil, f.Rsp.TAG); stop {
+			if stop := d.linkAdvance(l, &l.rspDir, &l.rqstDir, f, nil, f.Rsp.TAG); stop {
 				break
 			}
 			if err := l.rsp.Push(f); err != nil {
 				break // host not draining: wait
+			}
+			if l.rspDir.inj != nil {
+				l.rspDir.stamped = nil
+				l.rspDir.lastFrp = f.Rsp.FRP
 			}
 			budget -= int(f.Rsp.LNG)
 			d.stats.RspFlits += uint64(f.Rsp.LNG)
@@ -102,31 +107,138 @@ func (d *Device) drainVaultRsp(i int) {
 	}
 }
 
-// linkFault implements the deterministic CRC-fault injector and the
-// transaction-level retry protocol: every Nth traversal of a link is
-// corrupted, parking the head packet for LinkRetryCycles (error abort,
-// IRTRY exchange, retransmission from the retry buffer). It reports
-// whether the caller must stop moving packets on this link this cycle.
-func (d *Device) linkFault(l *Link, traversals, retryUntil *uint64, rqst *packet.Rqst, tag uint16) bool {
+// linkAdvance gates one transmission attempt of the head packet in a
+// link direction: the periodic CRC-fault injector (Config.LinkFaultPeriod,
+// every Nth traversal) and the seeded random injector (Device.SetFaultPlan)
+// both live here, along with the SEQ/FRP retry buffer of the Gen2 retry
+// protocol. It reports whether the caller must stop moving packets on
+// this direction this cycle.
+//
+// With both injectors disabled (the default) the gate is a single branch
+// and touches no retry state, keeping the zero-fault clock loop
+// bit-identical to a build without the subsystem.
+func (d *Device) linkAdvance(l *Link, dir, opp *linkDir, f *Flight, rqst *packet.Rqst, tag uint16) bool {
 	period := uint64(d.Cfg.LinkFaultPeriod)
-	if period == 0 {
+	if dir.inj == nil && period == 0 {
 		return false
 	}
-	if d.cycle < *retryUntil {
+	// Transient outage (fault.Down): the whole link is out of service.
+	if d.cycle < l.downUntil {
+		return true
+	}
+	if d.cycle < dir.retryUntil {
 		return true // retry sequence still playing out
 	}
-	*traversals++
-	if *traversals%period != 0 {
+	if dir.faultAt != 0 {
+		// First attempt after a retry sequence completed: the retransmit
+		// leaves the retry buffer now, closing the latency measurement.
+		if d.retryHist != nil {
+			d.retryHist.Observe(d.cycle - dir.faultAt)
+		}
+		dir.faultAt = 0
+	}
+	if dir.inj != nil && !d.retryStamp(dir, opp, f, rqst) {
+		return true // retry buffer full: wait for acknowledgments
+	}
+	// Fault decision for this attempt. The periodic injector keeps its
+	// original semantics (traversals count every non-parked attempt,
+	// including retransmissions); the random injector draws only on
+	// attempts the periodic one left clean, so both stay deterministic
+	// when combined.
+	var kind fault.Kind
+	if period != 0 {
+		dir.traversals++
+		if dir.traversals%period == 0 {
+			kind = fault.CRC
+		}
+	}
+	if kind == 0 {
+		if dir.inj == nil {
+			return false
+		}
+		if kind = dir.inj.Next(); kind == 0 {
+			return false
+		}
+	}
+	return d.injectFault(l, dir, kind, f, rqst, tag)
+}
+
+// retryStamp assigns the head packet its retry-protocol identity on the
+// first transmission attempt: a 3-bit SEQ, an FRP naming the retry-buffer
+// slot holding it, and the RRP acknowledgment pointer piggybacked from
+// the opposite direction. Retransmissions (budget stalls, queue-full
+// waits, fault retries) keep their stamp. It reports false when the
+// retry buffer is full.
+func (d *Device) retryStamp(dir, opp *linkDir, f *Flight, rqst *packet.Rqst) bool {
+	if dir.stamped == f {
+		return true
+	}
+	// Retire slots whose acknowledgment lag has elapsed.
+	for dir.n > 0 {
+		if dir.slots[dir.head].sentAt+retryAckLag > d.cycle {
+			break
+		}
+		dir.head = (dir.head + 1) % RetrySlots
+		dir.n--
+	}
+	if dir.n == RetrySlots {
+		d.stats.RetryBufStalls++
 		return false
 	}
-	*retryUntil = d.cycle + uint64(d.Cfg.LinkRetryCycles)
-	l.Retries++
-	d.stats.LinkRetries++
+	slot := (dir.head + dir.n) % RetrySlots
+	dir.slots[slot] = retrySlot{sentAt: d.cycle, seq: dir.seq}
+	dir.n++
+	dir.stamped = f
+	if rqst != nil {
+		rqst.SEQ = dir.seq
+		rqst.FRP = uint16(slot)
+		rqst.RRP = opp.lastFrp
+	} else {
+		f.Rsp.SEQ = dir.seq
+		f.Rsp.FRP = uint16(slot)
+		f.Rsp.RRP = opp.lastFrp
+	}
+	dir.seq = (dir.seq + 1) & (RetrySlots - 1)
+	return true
+}
+
+// injectFault applies one fault decision to the head packet. CRC and
+// Flip corrupt a real encoding of the packet and run it through
+// packet.VerifyCRC — the check the receive side of the link performs —
+// then park the direction for the retry sequence; Drop parks for the
+// longer retransmit timeout (nothing signals the loss); Down takes the
+// whole link out of service. It always returns true: the attempt failed.
+func (d *Device) injectFault(l *Link, dir *linkDir, kind fault.Kind, f *Flight, rqst *packet.Rqst, tag uint16) bool {
+	detail := "link CRC fault: retry sequence"
+	switch kind {
+	case fault.CRC, fault.Flip:
+		if dir.inj != nil {
+			d.corrupt(dir, kind, f, rqst)
+		}
+		if kind == fault.Flip {
+			detail = "injected bit flip: retry sequence"
+		}
+		dir.retryUntil = d.cycle + uint64(d.Cfg.LinkRetryCycles)
+		dir.faultAt = d.cycle
+		l.Retries++
+		d.stats.LinkRetries++
+	case fault.Drop:
+		detail = "injected packet drop: awaiting retransmit timeout"
+		dir.retryUntil = d.cycle + uint64(d.dropTimeout)
+		dir.faultAt = d.cycle
+		d.stats.Drops++
+		l.Retries++
+		d.stats.LinkRetries++
+	case fault.Down:
+		detail = "injected link-down window"
+		l.downUntil = d.cycle + uint64(d.downCycles)
+		d.stats.DownWindows++
+	}
 	if d.tracer.Enabled(trace.LevelStall) {
 		ev := trace.Event{
 			Cycle: d.cycle, Kind: trace.LevelStall,
 			Dev: d.ID, Quad: -1, Vault: -1, Bank: -1,
-			Tag: tag, Detail: "link CRC fault: retry sequence",
+			Tag: tag, Detail: detail,
 		}
 		if rqst != nil {
 			ev.Cmd = rqst.Cmd.String()
@@ -135,6 +247,38 @@ func (d *Device) linkFault(l *Link, traversals, retryUntil *uint64, rqst *packet
 		d.tracer.Emit(ev)
 	}
 	return true
+}
+
+// corrupt exercises the real CRC datapath for a CRC or Flip fault: the
+// in-flight packet is encoded into the device's fault scratch, one bit
+// is flipped at a position drawn from the direction's deterministic
+// stream (a CRC-field bit for fault.CRC, any wire bit for fault.Flip),
+// and the corrupted image must fail packet.VerifyCRC — CRC-32K detects
+// every single-bit error, so the receiver always catches it.
+func (d *Device) corrupt(dir *linkDir, kind fault.Kind, f *Flight, rqst *packet.Rqst) {
+	var words []uint64
+	var err error
+	if rqst != nil {
+		words, err = rqst.EncodeInto(d.faultWire)
+	} else {
+		words, err = f.Rsp.EncodeInto(d.faultWire)
+	}
+	if err != nil {
+		// Unencodable in-flight packets cannot happen in practice; count
+		// the corruption anyway so the fault stream stays accounted for.
+		d.stats.CRCErrors++
+		return
+	}
+	d.faultWire = words[:0]
+	if kind == fault.CRC {
+		words[len(words)-1] ^= 1 << (32 + dir.inj.Uint64()%32)
+	} else {
+		w := int(dir.inj.Uint64() % uint64(len(words)))
+		words[w] ^= 1 << (dir.inj.Uint64() % 64)
+	}
+	if packet.VerifyCRC(words) != nil {
+		d.stats.CRCErrors++
+	}
 }
 
 // executePhase services the request queue of every active vault. With
@@ -260,11 +404,15 @@ func (d *Device) requestPhase() {
 				d.stats.LinkSerStalls++
 				break
 			}
-			if stop := d.linkFault(l, &l.rqstTraversals, &l.rqstRetryUntil, f.Rqst, f.Rqst.TAG); stop {
+			if stop := d.linkAdvance(l, &l.rqstDir, &l.rspDir, f, f.Rqst, f.Rqst.TAG); stop {
 				break
 			}
 			if err := q.Push(f); err != nil {
 				break
+			}
+			if l.rqstDir.inj != nil {
+				l.rqstDir.stamped = nil
+				l.rqstDir.lastFrp = f.Rqst.FRP
 			}
 			budget -= flits
 			d.stats.RqstFlits += uint64(flits)

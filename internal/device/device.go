@@ -63,6 +63,7 @@ import (
 	"repro/internal/amo"
 	"repro/internal/cmc"
 	"repro/internal/config"
+	"repro/internal/fault"
 	"repro/internal/hmccmd"
 	"repro/internal/mem"
 	"repro/internal/metrics"
@@ -99,6 +100,10 @@ const (
 	// ErrstatBlockViolation marks a DRAM request that exceeds the
 	// configured maximum block size or crosses a block boundary.
 	ErrstatBlockViolation uint8 = 0x05
+	// ErrstatPoisoned marks a request that arrived with the poison bit
+	// set: the device answers it with a DINV error response instead of
+	// executing it.
+	ErrstatPoisoned uint8 = 0x06
 )
 
 // Bits posted to the ERR register on internal faults.
@@ -110,6 +115,9 @@ const (
 	// ErrBitAccessFault marks a dropped posted request (bad address or
 	// block violation) that had no response channel to report through.
 	ErrBitAccessFault uint64 = 1 << 2
+	// ErrBitPoisonFault marks a poisoned posted request that was dropped
+	// without a response channel to report through.
+	ErrBitPoisonFault uint64 = 1 << 3
 )
 
 // Flight is a packet in flight through the device, request or response
@@ -161,6 +169,19 @@ type Stats struct {
 	RowHits, RowMisses uint64
 	// ErrResponses counts error responses generated.
 	ErrResponses uint64
+	// CRCErrors counts packets whose corrupted wire image failed the
+	// receive-side CRC check (fault.CRC and fault.Flip injections).
+	CRCErrors uint64
+	// Drops counts whole-packet losses recovered by the sender's
+	// retransmit timeout (fault.Drop injections).
+	Drops uint64
+	// DownWindows counts transient link-down windows (fault.Down).
+	DownWindows uint64
+	// RetryBufStalls counts transmission attempts deferred because the
+	// direction's RetrySlots-deep retry buffer was full.
+	RetryBufStalls uint64
+	// PoisonedRqsts counts requests rejected for carrying the poison bit.
+	PoisonedRqsts uint64
 }
 
 // RqstsOfClass returns the executed-request count for one command class.
@@ -178,6 +199,7 @@ func (s *Stats) merge(o *Stats) {
 	s.RowHits += o.RowHits
 	s.RowMisses += o.RowMisses
 	s.ErrResponses += o.ErrResponses
+	s.PoisonedRqsts += o.PoisonedRqsts
 }
 
 // Device is one simulated HMC device.
@@ -250,6 +272,17 @@ type Device struct {
 	// nothing, so the host-path cost of enabling metrics is flat. Nil
 	// entries (metrics disabled) cost one branch.
 	latHist [hmccmd.NumClasses]*metrics.Histogram
+	// retryHist, when RegisterMetrics has run, records the cycle count of
+	// each completed link retry sequence (fault injection to retransmit).
+	retryHist *metrics.Histogram
+
+	// faultPlan is the random fault environment installed by SetFaultPlan;
+	// faultWire is the scratch encoding buffer CRC/Flip corruption uses,
+	// and dropTimeout/downCycles cache the plan's resolved windows.
+	faultPlan   fault.Plan
+	faultWire   []uint64
+	dropTimeout int
+	downCycles  int
 }
 
 // New builds a device from a configuration. A nil tracer disables
@@ -369,6 +402,43 @@ func (d *Device) getRqst() *packet.Rqst {
 func (d *Device) putRqst(r *packet.Rqst) {
 	d.rqstPool = append(d.rqstPool, r)
 }
+
+// SetFaultPlan installs (or, with a disabled plan, removes) the random
+// fault environment: every link direction derives its own deterministic
+// injector stream, keyed by device, link and direction, so the fault
+// sequence on one link is independent of traffic on every other. Call
+// before clocking; installing a plan mid-run starts its streams at the
+// current cycle.
+func (d *Device) SetFaultPlan(p fault.Plan) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	d.faultPlan = p
+	if !p.Enabled() {
+		for i := range d.links {
+			d.links[i].rqstDir.inj = nil
+			d.links[i].rspDir.inj = nil
+		}
+		return nil
+	}
+	d.dropTimeout = p.EffectiveDropTimeout()
+	d.downCycles = p.EffectiveDownCycles()
+	if d.faultWire == nil {
+		// Sized for the largest packet (9 FLITs = 18 words); EncodeInto
+		// grows it on the first use if a future command needs more.
+		d.faultWire = make([]uint64, 0, 32)
+	}
+	for i := range d.links {
+		l := &d.links[i]
+		stream := uint64(d.ID)<<16 | uint64(i)<<1
+		l.rqstDir.inj = p.Injector(stream)
+		l.rspDir.inj = p.Injector(stream | 1)
+	}
+	return nil
+}
+
+// FaultPlan returns the installed fault plan (the zero value when none).
+func (d *Device) FaultPlan() fault.Plan { return d.faultPlan }
 
 // Store exposes the device's backing memory for host-side initialization
 // (the simulated equivalent of pre-loading DRAM contents).

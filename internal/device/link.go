@@ -1,9 +1,65 @@
 package device
 
 import (
+	"repro/internal/fault"
 	"repro/internal/packet"
 	"repro/internal/queue"
 )
+
+// RetrySlots is the depth of each link direction's retry buffer: eight
+// slots, matching the 3-bit SEQ space of the Gen2 tail. A direction can
+// stamp at most RetrySlots packets per cycle before the ring fills and
+// the direction stalls (Stats.RetryBufStalls) until acknowledgments
+// retire slots on the next cycle.
+const RetrySlots = 8
+
+// retryAckLag is how many cycles after transmission a retry-buffer slot
+// is retired. The model folds the reverse-channel acknowledgment (the
+// RRP carried by traffic or PRET packets on the opposite direction) into
+// a fixed one-cycle lag, which keeps the protocol deadlock-free even
+// when the reverse direction carries no traffic at all.
+const retryAckLag = 1
+
+// retrySlot is one retry-buffer entry: the packet occupying it is
+// identified by its SEQ, and the slot retires retryAckLag cycles after
+// the transmission attempt.
+type retrySlot struct {
+	sentAt uint64
+	seq    uint8
+}
+
+// linkDir is the per-direction link-layer state: the traversal counter
+// and park window of the retry protocol, the deterministic fault
+// injector, and the SEQ/FRP retry buffer.
+type linkDir struct {
+	// traversals counts transmission attempts, driving the periodic
+	// injector (Config.LinkFaultPeriod); retryUntil parks the head packet
+	// while a retry sequence (error abort, IRTRY, retransmit) plays out.
+	traversals uint64
+	retryUntil uint64
+
+	// inj is the direction's seeded fault stream; nil when the random
+	// injector is disabled (the zero-fault fast path).
+	inj *fault.Injector
+
+	// Retry buffer: a ring of RetrySlots outstanding transmissions. seq
+	// is the next 3-bit sequence number to assign; head/n index the ring.
+	seq   uint8
+	slots [RetrySlots]retrySlot
+	head  int
+	n     int
+	// stamped marks the head packet as already stamped and buffered, so
+	// budget stalls, queue-full retries and fault retransmissions reuse
+	// the same SEQ/FRP instead of consuming new slots.
+	stamped *Flight
+	// lastFrp is the FRP of the last packet delivered in this direction;
+	// the opposite direction stamps it into RRP as the piggybacked
+	// acknowledgment pointer.
+	lastFrp uint16
+	// faultAt is the cycle the current retry sequence started, for the
+	// retry-latency histogram (zero when no retry is pending).
+	faultAt uint64
+}
 
 // Link models one host-facing HMC link: a request queue carrying packets
 // into the device and a response queue carrying packets back to the host.
@@ -23,11 +79,12 @@ type Link struct {
 	rqst queue.Queue[*Flight]
 	rsp  queue.Queue[*Flight]
 
-	// Retry-protocol state (per direction): traversal counters drive the
-	// deterministic fault injector, and retryUntil parks the head packet
-	// while a retry sequence (error abort, IRTRY, retransmit) plays out.
-	rqstTraversals, rspTraversals uint64
-	rqstRetryUntil, rspRetryUntil uint64
+	// rqstDir and rspDir hold the retry-protocol state for each
+	// direction; downUntil is the link-wide transient-outage window (the
+	// fault.Down kind), during which neither direction moves.
+	rqstDir, rspDir linkDir
+	downUntil       uint64
+
 	// Retries counts completed retry sequences on this link.
 	Retries uint64
 

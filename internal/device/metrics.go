@@ -48,6 +48,12 @@ func (d *Device) RegisterMetrics(reg *metrics.Registry) {
 	reg.CounterFunc("hmc_device_row_hits_total", func() uint64 { return d.stats.RowHits }, dev)
 	reg.CounterFunc("hmc_device_row_misses_total", func() uint64 { return d.stats.RowMisses }, dev)
 	reg.CounterFunc("hmc_device_err_responses_total", func() uint64 { return d.stats.ErrResponses }, dev)
+	reg.CounterFunc("hmc_device_crc_errors_total", func() uint64 { return d.stats.CRCErrors }, dev)
+	reg.CounterFunc("hmc_device_drops_total", func() uint64 { return d.stats.Drops }, dev)
+	reg.CounterFunc("hmc_device_link_down_windows_total", func() uint64 { return d.stats.DownWindows }, dev)
+	reg.CounterFunc("hmc_device_retry_buffer_stalls_total", func() uint64 { return d.stats.RetryBufStalls }, dev)
+	reg.CounterFunc("hmc_device_poisoned_rqsts_total", func() uint64 { return d.stats.PoisonedRqsts }, dev)
+	d.retryHist = reg.Histogram("hmc_link_retry_latency_cycles", dev)
 	reg.CounterFunc(metrics.NameLinkFlits, func() uint64 { return d.stats.RqstFlits }, dev, metrics.L("dir", "rqst"))
 	reg.CounterFunc(metrics.NameLinkFlits, func() uint64 { return d.stats.RspFlits }, dev, metrics.L("dir", "rsp"))
 

@@ -112,6 +112,10 @@ func (r Report) String() string {
 	fmt.Fprintf(&b, "  stalls: send=%d xbar=%d rsp=%d linkser=%d bank=%d retries=%d errors=%d\n",
 		r.Stats.SendStalls, r.Stats.XbarBackpressure, r.Stats.RspBackpressure,
 		r.Stats.LinkSerStalls, r.Stats.BankConflicts, r.Stats.LinkRetries, r.Stats.ErrResponses)
+	if s := r.Stats; s.CRCErrors+s.Drops+s.DownWindows+s.RetryBufStalls+s.PoisonedRqsts > 0 {
+		fmt.Fprintf(&b, "  reliability: crc errors=%d drops=%d down windows=%d retry-buffer stalls=%d poisoned=%d\n",
+			s.CRCErrors, s.Drops, s.DownWindows, s.RetryBufStalls, s.PoisonedRqsts)
+	}
 	fmt.Fprintf(&b, "  queues: max vault occupancy=%d, avg link rqst occupancy=%.2f\n",
 		r.MaxVaultQueue, r.AvgLinkRqstOcc)
 	fmt.Fprintf(&b, "  vault load imbalance: %.2fx (busiest/mean)\n", r.LoadImbalance())

@@ -196,6 +196,21 @@ func bankOf(loc addr.Location, err error) int {
 func (d *Device) executeRqst(v *Vault, f *Flight, info *hmccmd.Info, loc addr.Location, locErr error, st *Stats) *packet.Rsp {
 	r := f.Rqst
 
+	// Poisoned packets are never executed: a request that reaches the
+	// vault with Pb set (stamped by an upstream cube that detected
+	// corruption it could not retry) is answered with a DINV error
+	// response; posted poisoned requests have no response channel, so
+	// they latch the error register instead.
+	if r.Pb {
+		st.PoisonedRqsts++
+		if info.Class == hmccmd.ClassFlow || info.Rsp == hmccmd.RspNone {
+			d.regs.PostError(ErrBitPoisonFault)
+			st.ErrResponses++
+			return nil
+		}
+		return d.errorRsp(f, ErrstatPoisoned, st)
+	}
+
 	switch info.Class {
 	case hmccmd.ClassFlow:
 		return nil

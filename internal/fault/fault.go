@@ -1,0 +1,272 @@
+// Package fault implements deterministic, seed-driven link fault
+// injection for the Gen2 link-retry protocol.
+//
+// A Plan describes the fault environment of a simulation: a per-packet
+// Bernoulli fault probability, the set of fault kinds that may fire, and
+// the seed that makes the whole sequence reproducible. Each link
+// direction of each device derives its own Injector from the plan, keyed
+// by a stream ID, so the fault sequence observed on one link depends only
+// on the packets that traverse that link — adding traffic elsewhere never
+// perturbs it.
+//
+// The generator is a splitmix64 stream: one 64-bit draw decides whether a
+// packet faults, a second selects the kind, and further draws (bit
+// positions for corruption) come from the same stream. Two simulations
+// with the same seed, configuration and workload therefore inject the
+// exact same faults at the exact same packets — the determinism contract
+// the equivalence and repeatability tests pin.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Kind is a bitmask of fault categories a plan may inject.
+type Kind uint8
+
+// Fault kinds.
+const (
+	// CRC corrupts the packet's tail CRC field: the receiver's CRC check
+	// fails and the link runs one retry sequence (error abort, IRTRY,
+	// retransmit from the retry buffer).
+	CRC Kind = 1 << iota
+	// Flip flips one random bit of the serialized packet (header, payload
+	// or tail). CRC-32K detects every single-bit error, so the receiver
+	// sees a CRC mismatch and the packet retries exactly like CRC.
+	Flip
+	// Drop loses the packet entirely: the receiver never observes it, and
+	// recovery waits for the sender's retry-buffer timeout before the
+	// packet is retransmitted.
+	Drop
+	// Down takes the whole link out of service for Plan.DownCycles: no
+	// packet crosses in either direction until the window expires.
+	Down
+	// All enables every kind.
+	All = CRC | Flip | Drop | Down
+)
+
+var kindNames = []struct {
+	k    Kind
+	name string
+}{
+	{CRC, "crc"},
+	{Flip, "flip"},
+	{Drop, "drop"},
+	{Down, "down"},
+}
+
+// String renders the mask as a comma-separated kind list.
+func (k Kind) String() string {
+	if k == 0 {
+		return "none"
+	}
+	var parts []string
+	for _, kn := range kindNames {
+		if k&kn.k != 0 {
+			parts = append(parts, kn.name)
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// ErrBadKind reports an unknown fault-kind name.
+var ErrBadKind = errors.New("fault: unknown fault kind")
+
+// ErrBadRate reports a fault probability outside [0, 1].
+var ErrBadRate = errors.New("fault: rate must be in [0, 1]")
+
+// ParseKinds parses a comma-separated kind list ("crc,drop", "all",
+// "none" or the empty string, which also means All — the flag default).
+func ParseKinds(s string) (Kind, error) {
+	switch strings.TrimSpace(s) {
+	case "", "all":
+		return All, nil
+	case "none":
+		return 0, nil
+	}
+	var k Kind
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		found := false
+		for _, kn := range kindNames {
+			if kn.name == part {
+				k |= kn.k
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("%w: %q", ErrBadKind, part)
+		}
+	}
+	return k, nil
+}
+
+// Default window parameters, used when a Plan leaves them zero.
+const (
+	// DefaultDownCycles is the length of a transient link-down window.
+	DefaultDownCycles = 32
+	// DefaultDropTimeoutCycles is how long the sender waits for the
+	// missing acknowledgment of a dropped packet before retransmitting
+	// from its retry buffer — longer than a CRC retry, because nothing
+	// signals the loss until the timeout expires.
+	DefaultDropTimeoutCycles = 24
+)
+
+// Plan describes one simulation's fault environment. The zero value
+// injects nothing.
+type Plan struct {
+	// Rate is the per-packet Bernoulli fault probability applied at each
+	// link traversal, in [0, 1]. Zero disables injection entirely.
+	Rate float64
+	// Seed drives every injector derived from the plan. Two runs with the
+	// same seed (and workload) inject identical fault sequences.
+	Seed uint64
+	// Kinds selects which fault kinds may fire. Zero means All.
+	Kinds Kind
+	// DownCycles is the link-down window length (DefaultDownCycles when
+	// zero).
+	DownCycles int
+	// DropTimeoutCycles is the sender's retransmit timeout for dropped
+	// packets (DefaultDropTimeoutCycles when zero).
+	DropTimeoutCycles int
+}
+
+// Enabled reports whether the plan injects anything.
+func (p Plan) Enabled() bool { return p.Rate > 0 && p.EffectiveKinds() != 0 }
+
+// EffectiveKinds resolves the zero-means-All default.
+func (p Plan) EffectiveKinds() Kind {
+	if p.Kinds == 0 {
+		return All
+	}
+	return p.Kinds
+}
+
+// EffectiveDownCycles resolves the down-window default.
+func (p Plan) EffectiveDownCycles() int {
+	if p.DownCycles <= 0 {
+		return DefaultDownCycles
+	}
+	return p.DownCycles
+}
+
+// EffectiveDropTimeout resolves the drop-timeout default.
+func (p Plan) EffectiveDropTimeout() int {
+	if p.DropTimeoutCycles <= 0 {
+		return DefaultDropTimeoutCycles
+	}
+	return p.DropTimeoutCycles
+}
+
+// Validate checks the plan's parameters.
+func (p Plan) Validate() error {
+	if math.IsNaN(p.Rate) || p.Rate < 0 || p.Rate > 1 {
+		return fmt.Errorf("%w: %v", ErrBadRate, p.Rate)
+	}
+	if p.DownCycles < 0 {
+		return fmt.Errorf("fault: DownCycles must be non-negative, got %d", p.DownCycles)
+	}
+	if p.DropTimeoutCycles < 0 {
+		return fmt.Errorf("fault: DropTimeoutCycles must be non-negative, got %d", p.DropTimeoutCycles)
+	}
+	return nil
+}
+
+// String renders the plan for reports and flag echoes.
+func (p Plan) String() string {
+	if !p.Enabled() {
+		return "faults disabled"
+	}
+	return fmt.Sprintf("rate=%g seed=%d kinds=%s", p.Rate, p.Seed, p.EffectiveKinds())
+}
+
+// splitmix64 advances the state and returns the next 64-bit draw. It is
+// the standard SplitMix64 output function: cheap, allocation-free, and
+// equidistributed enough for Bernoulli thinning.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Injector is one deterministic fault stream, typically owned by a single
+// link direction. It is not safe for concurrent use — each link direction
+// derives its own.
+type Injector struct {
+	state     uint64
+	threshold uint64
+	kinds     [4]Kind
+	nkinds    int
+
+	// Injected counts fault decisions that fired, by kind index (the
+	// order of kindNames).
+	Injected [4]uint64
+}
+
+// Injector derives the deterministic fault stream for one link direction.
+// stream must uniquely identify the direction across the whole topology
+// (e.g. device<<16 | link<<1 | dir); the derivation mixes it into the
+// seed so streams are statistically independent.
+func (p Plan) Injector(stream uint64) *Injector {
+	in := &Injector{}
+	// Two rounds of the output function decorrelate seed and stream even
+	// when both are small integers.
+	s := p.Seed
+	_ = splitmix64(&s)
+	s ^= 0xA076_1D64_78BD_642F * (stream + 1)
+	_ = splitmix64(&s)
+	in.state = s
+	if p.Rate >= 1 {
+		in.threshold = math.MaxUint64
+	} else {
+		in.threshold = uint64(p.Rate * float64(1<<63) * 2)
+	}
+	for _, kn := range kindNames {
+		if p.EffectiveKinds()&kn.k != 0 {
+			in.kinds[in.nkinds] = kn.k
+			in.nkinds++
+		}
+	}
+	return in
+}
+
+// Next draws the fault decision for the next packet: zero for a clean
+// traversal, else the kind to inject. Exactly one draw is consumed for a
+// clean packet and two for a faulted one, so the stream position depends
+// only on the packet sequence.
+func (in *Injector) Next() Kind {
+	if in.nkinds == 0 {
+		return 0
+	}
+	if splitmix64(&in.state) >= in.threshold {
+		return 0
+	}
+	i := int(splitmix64(&in.state) % uint64(in.nkinds))
+	k := in.kinds[i]
+	for j, kn := range kindNames {
+		if kn.k == k {
+			in.Injected[j]++
+		}
+	}
+	return k
+}
+
+// Uint64 draws one raw value from the stream — used for corruption
+// positions (which bit to flip) so they ride the same deterministic
+// sequence as the fault decisions.
+func (in *Injector) Uint64() uint64 { return splitmix64(&in.state) }
+
+// Total returns the number of faults this injector has fired.
+func (in *Injector) Total() uint64 {
+	var t uint64
+	for _, n := range in.Injected {
+		t += n
+	}
+	return t
+}

@@ -1,0 +1,177 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseKinds(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Kind
+		err  bool
+	}{
+		{"", All, false},
+		{"all", All, false},
+		{"none", 0, false},
+		{"crc", CRC, false},
+		{"crc,drop", CRC | Drop, false},
+		{" flip , down ", Flip | Down, false},
+		{"crc,flip,drop,down", All, false},
+		{"bogus", 0, true},
+		{"crc,bogus", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseKinds(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseKinds(%q): want error", c.in)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("ParseKinds(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if s := (CRC | Drop).String(); s != "crc,drop" {
+		t.Errorf("String = %q", s)
+	}
+	if s := Kind(0).String(); s != "none" {
+		t.Errorf("zero String = %q", s)
+	}
+	if s := All.String(); s != "crc,flip,drop,down" {
+		t.Errorf("All String = %q", s)
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	if err := (Plan{Rate: 0.5}).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (Plan{Rate: -0.1}).Validate(); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if err := (Plan{Rate: 1.5}).Validate(); err == nil {
+		t.Error("rate > 1 accepted")
+	}
+	if err := (Plan{Rate: math.NaN()}).Validate(); err == nil {
+		t.Error("NaN rate accepted")
+	}
+	if (Plan{}).Enabled() {
+		t.Error("zero plan enabled")
+	}
+	if !(Plan{Rate: 0.01}).Enabled() {
+		t.Error("1% plan disabled")
+	}
+	if (Plan{Rate: 0.5, Kinds: 0}).EffectiveKinds() != All {
+		t.Error("zero kinds should mean All")
+	}
+}
+
+// TestInjectorDeterminism: identical plans and streams produce identical
+// fault sequences; different seeds or streams diverge.
+func TestInjectorDeterminism(t *testing.T) {
+	p := Plan{Rate: 0.05, Seed: 42}
+	a := p.Injector(3)
+	b := p.Injector(3)
+	for i := 0; i < 10000; i++ {
+		if ka, kb := a.Next(), b.Next(); ka != kb {
+			t.Fatalf("draw %d: %v != %v", i, ka, kb)
+		}
+	}
+	if a.Total() == 0 {
+		t.Fatal("5% rate fired nothing in 10k draws")
+	}
+
+	c := Plan{Rate: 0.05, Seed: 43}.Injector(3)
+	d := p.Injector(4)
+	sameSeed, sameStream := 0, 0
+	a2 := p.Injector(3)
+	for i := 0; i < 10000; i++ {
+		ka := a2.Next()
+		if ka == c.Next() {
+			sameSeed++
+		}
+		if ka == d.Next() {
+			sameStream++
+		}
+	}
+	if sameSeed == 10000 {
+		t.Error("different seeds produced identical sequences")
+	}
+	if sameStream == 10000 {
+		t.Error("different streams produced identical sequences")
+	}
+}
+
+// TestInjectorRate: the empirical fault rate tracks Plan.Rate.
+func TestInjectorRate(t *testing.T) {
+	const n = 200000
+	in := Plan{Rate: 0.01, Seed: 7}.Injector(0)
+	faults := 0
+	for i := 0; i < n; i++ {
+		if in.Next() != 0 {
+			faults++
+		}
+	}
+	got := float64(faults) / n
+	if got < 0.007 || got > 0.013 {
+		t.Errorf("empirical rate %.4f, want ~0.01", got)
+	}
+}
+
+// TestInjectorKindsRestricted: only enabled kinds ever fire, and all
+// enabled kinds eventually fire.
+func TestInjectorKindsRestricted(t *testing.T) {
+	in := Plan{Rate: 0.5, Seed: 1, Kinds: CRC | Drop}.Injector(0)
+	seen := Kind(0)
+	for i := 0; i < 10000; i++ {
+		k := in.Next()
+		if k != 0 && k != CRC && k != Drop {
+			t.Fatalf("disabled kind %v fired", k)
+		}
+		seen |= k
+	}
+	if seen != CRC|Drop {
+		t.Errorf("kinds seen = %v, want crc,drop", seen)
+	}
+}
+
+// TestInjectorExtremes: rate 0 never fires; rate 1 always fires.
+func TestInjectorExtremes(t *testing.T) {
+	never := Plan{Rate: 0, Seed: 9}.Injector(0)
+	always := Plan{Rate: 1, Seed: 9}.Injector(0)
+	for i := 0; i < 1000; i++ {
+		if never.Next() != 0 {
+			t.Fatal("rate 0 fired")
+		}
+		if always.Next() == 0 {
+			t.Fatal("rate 1 missed")
+		}
+	}
+}
+
+func TestPlanDefaults(t *testing.T) {
+	p := Plan{Rate: 0.1}
+	if p.EffectiveDownCycles() != DefaultDownCycles {
+		t.Error("down default")
+	}
+	if p.EffectiveDropTimeout() != DefaultDropTimeoutCycles {
+		t.Error("drop default")
+	}
+	p.DownCycles, p.DropTimeoutCycles = 7, 9
+	if p.EffectiveDownCycles() != 7 || p.EffectiveDropTimeout() != 9 {
+		t.Error("explicit windows ignored")
+	}
+}
+
+func BenchmarkInjectorNext(b *testing.B) {
+	in := Plan{Rate: 0.01, Seed: 1}.Injector(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = in.Next()
+	}
+}

@@ -1,0 +1,82 @@
+package packet
+
+// Wire-form field accessors for the link-layer tail of an encoded packet.
+//
+// The retry protocol and its tests need to read (and occasionally poke)
+// the reliability fields — RRP/FRP/SEQ retry pointers, the poison bit,
+// DINV and ERRSTAT — directly on the []uint64 wire image, without a full
+// decode. The bit positions follow the package comment: the tail is the
+// last 64-bit word, RRP in [8:0], FRP in [17:9], SEQ in [20:18], Pb/DINV
+// in [21], ERRSTAT in [28:22] (responses only) and the CRC in [63:32].
+//
+// All accessors tolerate only non-empty word slices; like EncodeTail they
+// do not validate LNG — callers that need full validation decode instead.
+
+// tail returns the tail word of an encoded packet.
+func tail(words []uint64) uint64 { return words[len(words)-1] }
+
+// Seq returns the 3-bit link sequence number from the tail.
+func Seq(words []uint64) uint8 { return uint8(tail(words) >> 18 & 0x7) }
+
+// Rrp returns the 9-bit return retry pointer from the tail.
+func Rrp(words []uint64) uint16 { return uint16(tail(words) & 0x1FF) }
+
+// Frp returns the 9-bit forward retry pointer from the tail.
+func Frp(words []uint64) uint16 { return uint16(tail(words) >> 9 & 0x1FF) }
+
+// Poison returns the request poison bit (tail bit 21). On a response wire
+// image the same bit carries DINV; use Dinv for that reading.
+func Poison(words []uint64) bool { return tail(words)>>21&1 == 1 }
+
+// Dinv returns the response data-invalid flag (tail bit 21).
+func Dinv(words []uint64) bool { return tail(words)>>21&1 == 1 }
+
+// Errstat returns the 7-bit response error status from the tail.
+func Errstat(words []uint64) uint8 { return uint8(tail(words) >> 22 & 0x7F) }
+
+// CRCField returns the 32-bit CRC carried in tail bits [63:32].
+func CRCField(words []uint64) uint32 { return uint32(tail(words) >> 32) }
+
+// VerifyCRC checks the tail CRC of an encoded packet against its
+// contents. It returns nil on a match, ErrBadCRC on a mismatch, and
+// ErrNilPacket for an empty buffer. This is the receive-side integrity
+// check the link retry protocol is built on: any single-bit corruption of
+// the wire image fails it.
+func VerifyCRC(words []uint64) error {
+	if len(words) == 0 {
+		return ErrNilPacket
+	}
+	if CRCField(words) != crcWithTailZeroed(words) {
+		return ErrBadCRC
+	}
+	return nil
+}
+
+// RefreshCRC recomputes the tail CRC over the packet's current contents,
+// making a hand-edited wire image valid again.
+func RefreshCRC(words []uint64) {
+	if len(words) == 0 {
+		return
+	}
+	last := len(words) - 1
+	words[last] &= 0x00000000FFFFFFFF
+	words[last] |= uint64(crcWithTailZeroed(words)) << 32
+}
+
+// SetPoison sets or clears the poison bit of an encoded request and
+// refreshes the CRC so the packet still verifies — the HMC poisons
+// packets it must forward but knows to be corrupt, and the receiving
+// device answers them with an ERRSTAT/DINV error response instead of
+// executing them.
+func SetPoison(words []uint64, poisoned bool) {
+	if len(words) == 0 {
+		return
+	}
+	last := len(words) - 1
+	if poisoned {
+		words[last] |= 1 << 21
+	} else {
+		words[last] &^= 1 << 21
+	}
+	RefreshCRC(words)
+}

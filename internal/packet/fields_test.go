@@ -1,0 +1,204 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hmccmd"
+)
+
+// TestTailFieldAccessorsRqst: every reliability field written through the
+// struct encoder reads back identically through the wire-form accessors
+// and through DecodeRqstInto.
+func TestTailFieldAccessorsRqst(t *testing.T) {
+	prop := func(rrp, frp uint16, seq uint8, pb bool, rtc uint8, adrs uint64, tag uint16) bool {
+		r := &Rqst{
+			Cmd: hmccmd.RD64, ADRS: adrs & MaxADRS, TAG: tag & MaxTag,
+			RRP: rrp & 0x1FF, FRP: frp & 0x1FF, SEQ: seq & 0x7, Pb: pb, RTC: rtc & 0x1F,
+		}
+		words, err := r.Encode()
+		if err != nil {
+			return false
+		}
+		if Seq(words) != r.SEQ || Rrp(words) != r.RRP || Frp(words) != r.FRP || Poison(words) != r.Pb {
+			return false
+		}
+		if VerifyCRC(words) != nil {
+			return false
+		}
+		var back Rqst
+		if err := DecodeRqstInto(&back, words); err != nil {
+			return false
+		}
+		return back.SEQ == r.SEQ && back.RRP == r.RRP && back.FRP == r.FRP &&
+			back.Pb == r.Pb && back.RTC == r.RTC
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTailFieldAccessorsRsp: the response-side fields (DINV, ERRSTAT)
+// round-trip through EncodeInto/DecodeRspInto and the accessors agree
+// with the wire image.
+func TestTailFieldAccessorsRsp(t *testing.T) {
+	prop := func(rrp, frp uint16, seq uint8, dinv bool, errstat uint8, tag uint16) bool {
+		p := &Rsp{
+			Cmd: hmccmd.RdRS, TAG: tag & MaxTag, LNG: 2, Payload: []uint64{1, 2},
+			RRP: rrp & 0x1FF, FRP: frp & 0x1FF, SEQ: seq & 0x7,
+			DINV: dinv, ERRSTAT: errstat & 0x7F,
+		}
+		words, err := p.Encode()
+		if err != nil {
+			return false
+		}
+		if Seq(words) != p.SEQ || Rrp(words) != p.RRP || Frp(words) != p.FRP {
+			return false
+		}
+		if Dinv(words) != p.DINV || Errstat(words) != p.ERRSTAT {
+			return false
+		}
+		if VerifyCRC(words) != nil {
+			return false
+		}
+		var back Rsp
+		if err := DecodeRspInto(&back, words); err != nil {
+			return false
+		}
+		return back.SEQ == p.SEQ && back.RRP == p.RRP && back.FRP == p.FRP &&
+			back.DINV == p.DINV && back.ERRSTAT == p.ERRSTAT
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestVerifyCRC: a pristine packet verifies; flipping any single bit
+// (including in the CRC field itself) fails with the typed error.
+func TestVerifyCRC(t *testing.T) {
+	r := &Rqst{Cmd: hmccmd.WR64, ADRS: 0x4040, TAG: 9, Payload: make([]uint64, 8)}
+	for i := range r.Payload {
+		r.Payload[i] = uint64(i) * 0x0101010101010101
+	}
+	words, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyCRC(words); err != nil {
+		t.Fatalf("pristine packet: %v", err)
+	}
+	for w := range words {
+		for bit := 0; bit < 64; bit += 7 { // stride keeps the test fast
+			words[w] ^= 1 << bit
+			if err := VerifyCRC(words); !errors.Is(err, ErrBadCRC) {
+				t.Fatalf("word %d bit %d: corruption not detected (%v)", w, bit, err)
+			}
+			words[w] ^= 1 << bit
+		}
+	}
+	if err := VerifyCRC(nil); !errors.Is(err, ErrNilPacket) {
+		t.Errorf("nil packet: %v", err)
+	}
+}
+
+// TestRefreshCRC: hand-editing the wire image invalidates the CRC;
+// RefreshCRC makes it verify (and decode) again.
+func TestRefreshCRC(t *testing.T) {
+	r := &Rqst{Cmd: hmccmd.RD16, ADRS: 0x100, TAG: 1}
+	words, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	words[0] ^= 1 << 12 // tweak the TAG field
+	if err := VerifyCRC(words); !errors.Is(err, ErrBadCRC) {
+		t.Fatal("edit not detected")
+	}
+	RefreshCRC(words)
+	if err := VerifyCRC(words); err != nil {
+		t.Fatalf("refreshed packet: %v", err)
+	}
+	if _, err := DecodeRqst(words); err != nil {
+		t.Fatalf("refreshed packet failed decode: %v", err)
+	}
+}
+
+// TestSetPoison: poisoning keeps the packet CRC-valid and the bit is
+// visible both to the accessor and to the decoder.
+func TestSetPoison(t *testing.T) {
+	r := &Rqst{Cmd: hmccmd.RD16, ADRS: 0x200, TAG: 2}
+	words, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetPoison(words, true)
+	if !Poison(words) {
+		t.Fatal("poison bit not set")
+	}
+	if err := VerifyCRC(words); err != nil {
+		t.Fatalf("poisoned packet fails CRC: %v", err)
+	}
+	dec, err := DecodeRqst(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Pb {
+		t.Fatal("decoded Pb false")
+	}
+	SetPoison(words, false)
+	if Poison(words) || VerifyCRC(words) != nil {
+		t.Fatal("unpoison failed")
+	}
+}
+
+// FuzzTailFieldAccessors: for any wire image the decoder accepts, the
+// raw-word accessors must agree with the decoded struct fields — pinned
+// alongside the existing decode fuzz corpus.
+func FuzzTailFieldAccessors(f *testing.F) {
+	seedRqst := &Rqst{Cmd: hmccmd.WR64, ADRS: 0x1000, TAG: 7, RRP: 5, FRP: 9,
+		SEQ: 3, Pb: true, Payload: make([]uint64, 8)}
+	if words, err := seedRqst.Encode(); err == nil {
+		b := make([]byte, 8*len(words))
+		for i, w := range words {
+			binary.LittleEndian.PutUint64(b[8*i:], w)
+		}
+		f.Add(b)
+	}
+	seedRsp := &Rsp{Cmd: hmccmd.RdRS, TAG: 3, LNG: 2, SEQ: 6, RRP: 17, FRP: 200,
+		DINV: true, ERRSTAT: 0x33, Payload: []uint64{1, 2}}
+	if words, err := seedRsp.Encode(); err == nil {
+		b := make([]byte, 8*len(words))
+		for i, w := range words {
+			binary.LittleEndian.PutUint64(b[8*i:], w)
+		}
+		f.Add(b)
+	}
+	f.Add(make([]byte, 16))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		words := wordsOf(data)
+		if len(words) == 0 {
+			return
+		}
+		if r, err := DecodeRqst(words); err == nil {
+			if Seq(words) != r.SEQ || Rrp(words) != r.RRP || Frp(words) != r.FRP || Poison(words) != r.Pb {
+				t.Fatalf("rqst accessors disagree with decode: %+v", r)
+			}
+			if VerifyCRC(words) != nil {
+				t.Fatal("decoder accepted a packet VerifyCRC rejects")
+			}
+		}
+		if p, err := DecodeRsp(words); err == nil {
+			if Seq(words) != p.SEQ || Rrp(words) != p.RRP || Frp(words) != p.FRP ||
+				Dinv(words) != p.DINV || Errstat(words) != p.ERRSTAT {
+				t.Fatalf("rsp accessors disagree with decode: %+v", p)
+			}
+		}
+		// RefreshCRC must make any sized packet verify.
+		cp := append([]uint64(nil), words...)
+		RefreshCRC(cp)
+		if err := VerifyCRC(cp); err != nil {
+			t.Fatalf("RefreshCRC did not normalize: %v", err)
+		}
+	})
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/cmc"
 	"repro/internal/config"
 	"repro/internal/device"
+	"repro/internal/fault"
 	"repro/internal/hmccmd"
 	"repro/internal/jtag"
 	"repro/internal/metrics"
@@ -44,6 +45,7 @@ type options struct {
 	workers     int
 	metricsReg  *metrics.Registry
 	sampler     *metrics.Sampler
+	faultPlan   *fault.Plan
 }
 
 // Option configures a Simulator.
@@ -112,12 +114,13 @@ func WithParallelClock(n int) Option {
 
 // Simulator is one simulation context.
 type Simulator struct {
-	cfg     config.Config
-	topo    *topo.Topology
-	pm      *power.Model
-	reg     *metrics.Registry
-	sampler *metrics.Sampler
-	cycle   uint64
+	cfg       config.Config
+	topo      *topo.Topology
+	pm        *power.Model
+	reg       *metrics.Registry
+	sampler   *metrics.Sampler
+	faultPlan fault.Plan
+	cycle     uint64
 
 	// Wire-level scratch: SendWire decodes into wireRqst (adopted by the
 	// device before SendWire returns); RecvWire encodes into wire, which
@@ -162,6 +165,14 @@ func New(cfg config.Config, opts ...Option) (*Simulator, error) {
 	if o.workers > 1 {
 		for _, d := range tp.Devices() {
 			d.Workers = o.workers
+		}
+	}
+	if o.faultPlan != nil {
+		s.faultPlan = *o.faultPlan
+		for _, d := range tp.Devices() {
+			if err := d.SetFaultPlan(*o.faultPlan); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if o.metricsReg != nil {

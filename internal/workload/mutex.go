@@ -192,8 +192,8 @@ func RunMutex(cfg config.Config, threads int, lockAddr uint64, opts ...sim.Optio
 // MutexSweep reproduces the paper's evaluation: thread counts from lo to
 // hi (inclusive) against one configuration, one at a time. Use
 // MutexSweepParallel to spread the sweep across host cores.
-func MutexSweep(cfg config.Config, lo, hi int, lockAddr uint64) (MutexSweepResult, error) {
-	return MutexSweepParallel(cfg, lo, hi, lockAddr, 1)
+func MutexSweep(cfg config.Config, lo, hi int, lockAddr uint64, opts ...sim.Option) (MutexSweepResult, error) {
+	return MutexSweepParallel(cfg, lo, hi, lockAddr, 1, opts...)
 }
 
 // TableVI summarizes a sweep the way the paper's Table VI does: the

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/config"
+	"repro/internal/sim"
 )
 
 // RunIndexed executes n independent jobs across a bounded pool of
@@ -68,8 +69,8 @@ func RunIndexed[T any](workers, n int, job func(i int) (T, error)) ([]T, error) 
 // (<= 0 means one per host core). Each thread count gets an independent
 // simulator, so results — including every cycle count and statistic —
 // are identical to the serial sweep; only wall time changes.
-func MutexSweepParallel(cfg config.Config, lo, hi int, lockAddr uint64, workers int) (MutexSweepResult, error) {
-	return MutexSweepWithProgress(cfg, lo, hi, lockAddr, workers, nil)
+func MutexSweepParallel(cfg config.Config, lo, hi int, lockAddr uint64, workers int, opts ...sim.Option) (MutexSweepResult, error) {
+	return MutexSweepWithProgress(cfg, lo, hi, lockAddr, workers, nil, opts...)
 }
 
 // MutexSweepWithProgress is MutexSweepParallel with a completion hook:
@@ -78,13 +79,13 @@ func MutexSweepParallel(cfg config.Config, lo, hi int, lockAddr uint64, workers 
 // concurrent use. The hmc-mutex command feeds its live metrics endpoint
 // from this hook (aggregate counters only — a sweep builds thousands of
 // short-lived simulators, too many to register individually).
-func MutexSweepWithProgress(cfg config.Config, lo, hi int, lockAddr uint64, workers int, progress func(MutexRun)) (MutexSweepResult, error) {
+func MutexSweepWithProgress(cfg config.Config, lo, hi int, lockAddr uint64, workers int, progress func(MutexRun), opts ...sim.Option) (MutexSweepResult, error) {
 	out := MutexSweepResult{Config: cfg}
 	if hi < lo {
 		return out, nil
 	}
 	runs, err := RunIndexed(workers, hi-lo+1, func(i int) (MutexRun, error) {
-		run, err := RunMutex(cfg, lo+i, lockAddr)
+		run, err := RunMutex(cfg, lo+i, lockAddr, opts...)
 		if err != nil {
 			return run, fmt.Errorf("threads=%d: %w", lo+i, err)
 		}

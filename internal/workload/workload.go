@@ -75,6 +75,10 @@ const (
 	// NameCompletion is the per-agent completion-cycle histogram — the
 	// distribution behind the paper's MIN/MAX/AVG_CYCLE table rows.
 	NameCompletion = "hmc_workload_completion_cycles"
+	// NameSendStalls counts HMC_STALL rejections the engine absorbed by
+	// retrying — the host-visible face of link-queue congestion (the
+	// device-side mirror is hmc_device_send_stalls_total).
+	NameSendStalls = "hmc_workload_send_stalls_total"
 )
 
 // Run drives the agents against the simulator until every agent is done,
@@ -94,9 +98,11 @@ func Run(s *sim.Simulator, agents []Agent, maxCycles uint64) (Result, error) {
 	// the driving path is a few atomic ops — the engine stays
 	// allocation-free either way (the serial-sweep benchmarks count).
 	var opLat, completion *metrics.Histogram
+	var sendStalls *metrics.Counter
 	if reg := s.Metrics(); reg != nil {
 		opLat = reg.Histogram(NameOpLatency)
 		completion = reg.Histogram(NameCompletion)
+		sendStalls = reg.Counter(NameSendStalls)
 	}
 
 	state := make([]agentState, len(agents))
@@ -142,6 +148,9 @@ func Run(s *sim.Simulator, agents []Agent, maxCycles uint64) (Result, error) {
 			if err := s.Send(int(r.SLID), r); err != nil {
 				st.pending = r // HMC_STALL: retry next cycle
 				res.SendStalls++
+				if sendStalls != nil {
+					sendStalls.Inc()
+				}
 				continue
 			}
 			st.pending = nil

@@ -253,6 +253,95 @@ func BenchmarkClockLoopRead64Metrics(b *testing.B) {
 	}
 }
 
+// --- Fault-path benchmarks ---
+
+// faultTrip is roundTrip with a cycle budget wide enough for retry
+// sequences and link-down windows on the way to the response.
+func faultTrip(b *testing.B, s *Simulator, link int, r *Rqst) {
+	if err := s.SendWithRetry(link, r, 4096); err != nil {
+		b.Fatal(err)
+	}
+	for c := 0; c < 4096; c++ {
+		s.Clock()
+		if rsp, ok := s.Recv(link); ok {
+			ReleaseRsp(rsp)
+			return
+		}
+	}
+	b.Fatal("no response within 4096 cycles")
+}
+
+// BenchmarkFaultFreeClockLoop measures the RD64 round trip with a
+// disabled fault plan installed: the reliability subsystem's cost when
+// injection is off must be one nil check — same ns/op and 0 allocs/op
+// as BenchmarkClockLoopRead64.
+func BenchmarkFaultFreeClockLoop(b *testing.B) {
+	s, err := New(FourLink4GB(), WithFaults(FaultPlan{Rate: 0}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := BuildRead(0, 0x1000, 1, 0, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		roundTrip(b, s, 0, r)
+	}
+}
+
+// BenchmarkFaultClockLoop1pct measures the same round trip under the
+// acceptance-criteria fault plan (1% of traversals faulted, seeded):
+// retry stamping, CRC corruption/verification and timeout parking are
+// all on the measured path.
+func BenchmarkFaultClockLoop1pct(b *testing.B) {
+	s, err := New(FourLink4GB(), WithFaults(FaultPlan{Rate: 0.01, Seed: 1}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := BuildRead(0, 0x1000, 1, 0, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		faultTrip(b, s, 0, r)
+	}
+}
+
+// TestFaultFreeRoundTripZeroAlloc pins the tentpole's zero-fault
+// contract directly: with a disabled plan installed, the steady-state
+// round trip allocates nothing.
+func TestFaultFreeRoundTripZeroAlloc(t *testing.T) {
+	s, err := New(FourLink4GB(), WithFaults(FaultPlan{Rate: 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := BuildRead(0, 0x1000, 1, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trip := func() {
+		if err := s.Send(0, r); err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < 16; c++ {
+			s.Clock()
+			if rsp, ok := s.Recv(0); ok {
+				ReleaseRsp(rsp)
+				return
+			}
+		}
+		t.Fatal("no response within 16 cycles")
+	}
+	trip() // warm the pools before counting
+	if allocs := testing.AllocsPerRun(200, trip); allocs != 0 {
+		t.Errorf("fault-free round trip: %.1f allocs/op, want 0", allocs)
+	}
+}
+
 // TestMetricsHotPathZeroAlloc pins the acceptance criterion directly:
 // Inc and Observe allocate nothing.
 func TestMetricsHotPathZeroAlloc(t *testing.T) {

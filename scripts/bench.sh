@@ -22,7 +22,7 @@ trap 'rm -f "$raw"' EXIT
 prev="$(ls BENCH_*.json 2>/dev/null | grep -v "^${out}\$" | sort | tail -1 || true)"
 
 go test -run '^$' \
-    -bench 'BenchmarkClockLoop|BenchmarkMutexSweep|BenchmarkPacket|BenchmarkCRC|BenchmarkMetrics' \
+    -bench 'BenchmarkClockLoop|BenchmarkMutexSweep|BenchmarkPacket|BenchmarkCRC|BenchmarkMetrics|BenchmarkFault' \
     -benchmem -benchtime 1s "$@" . | tee "$raw"
 
 awk -v date="$date" '

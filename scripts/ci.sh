@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
 # CI gate: build, vet, full test suite, then the race detector over the
 # packages with concurrent hot paths (the parallel clock, the sharded
-# store, the atomic metrics registry, and the sim-layer composition of
-# all three), and finally a
+# store, the atomic metrics registry, the fault injector feeding the
+# parallel sweep, and the sim-layer composition of all of them), and
+# finally a
 # 1-iteration benchmark smoke so every benchmark at least compiles and
 # executes (~5s; it measures nothing).
 set -eux
@@ -10,6 +11,6 @@ set -eux
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/device ./internal/mem ./internal/metrics ./internal/sim
+go test -race ./internal/device ./internal/fault ./internal/mem ./internal/metrics ./internal/sim
 go test -race -run 'TestParallelClock|TestClockModeEquivalence' .
 go test -run '^$' -bench . -benchtime 1x ./...
