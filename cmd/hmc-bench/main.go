@@ -42,9 +42,13 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0, "per-traversal link fault probability in [0,1] (0 disables injection)")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault injection seed; the same seed reproduces the exact fault sequence")
 	faultKinds := flag.String("fault-kinds", "all", "comma-separated fault kinds: crc, flip, drop, down or all")
+	execWorkers := flag.Int("exec-workers", 1, "parallel cycle engine workers inside each simulation (1 = serial; -workers sizes the sweep pool, this sizes the per-run vault/device stepping pool)")
 	flag.Parse()
 
 	var opts []hmcsim.Option
+	if *execWorkers > 1 {
+		opts = append(opts, hmcsim.WithParallelClock(*execWorkers))
+	}
 	var plan hmcsim.FaultPlan
 	if *faultRate > 0 {
 		kinds, err := hmcsim.ParseFaultKinds(*faultKinds)

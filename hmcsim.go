@@ -131,9 +131,20 @@ var (
 	WithPowerModel = sim.WithPowerModel
 	// WithObserver hands the caller the simulator handle at construction.
 	WithObserver = sim.WithObserver
-	// WithParallelClock services vaults concurrently in the execute phase.
+	// WithParallelClock enables the deterministic parallel cycle engine:
+	// a persistent worker pool services active vaults in each device's
+	// execute phase (above the adaptive ExecMinFanout threshold) and
+	// steps the devices of a multi-cube topology concurrently, with
+	// results bit-identical to serial clocking. Simulator.Close releases
+	// the pools; Simulator.ClockN is the batched clock driver that keeps
+	// them hot across cycles.
 	WithParallelClock = sim.WithParallelClock
 )
+
+// ExecMinFanout is the parallel engine's default fan-out threshold:
+// cycles with fewer active vaults than this execute serially even under
+// WithParallelClock, because waking the pool costs more than the work.
+const ExecMinFanout = device.DefaultMinFanout
 
 // Topology kinds for WithDevices.
 const (

@@ -2,7 +2,6 @@ package device
 
 import (
 	"math/bits"
-	"sync"
 
 	"repro/internal/fault"
 	"repro/internal/packet"
@@ -312,16 +311,18 @@ func (d *Device) executePhase() {
 	d.execScratch = active
 
 	if len(active) > 0 {
-		workers := d.Workers
-		if workers > len(active) {
-			workers = len(active)
-		}
-		if workers <= 1 {
+		// Adaptive fan-out: waking the pool costs one channel handoff
+		// per worker, so small active sets (the common case for
+		// hot-spot workloads like the paper's mutex evaluation) stay on
+		// the serial path, which allocates nothing and touches no
+		// synchronization. The threshold compares the active-vault
+		// count, the proxy for this cycle's execute work.
+		if d.Workers > 1 && len(active) >= d.fanoutMin() {
+			d.execParallel()
+		} else {
 			for _, i := range active {
 				d.execVault(&d.vaults[i], &d.stats)
 			}
-		} else {
-			d.execParallel(workers)
 		}
 	}
 
@@ -347,39 +348,62 @@ func (d *Device) executePhase() {
 	}
 }
 
-// execParallel fans the active-vault list out across workers. It lives
-// in its own function (with the chunks passed as goroutine arguments) so
-// the serial path pays nothing for it: a closure capturing the active
-// slice would force the slice header to the heap on every cycle.
-func (d *Device) execParallel(workers int) {
-	active := d.execScratch
-	if cap(d.partialScratch) < workers {
-		d.partialScratch = make([]Stats, workers)
+// execParallel fans the active-vault list out across the persistent
+// worker pool. The pool is created lazily on the first fan-out (and
+// re-created if Workers changed since), so devices that never cross the
+// fan-out threshold never start a goroutine; Close releases it.
+//
+// Determinism: worker w always services the w-th contiguous chunk of
+// the active list (itself in ascending vault order), accumulating into
+// partial w, and the partials are merged in ascending worker order
+// after the barrier — so the device statistics are bit-identical to
+// serial execution on every run.
+func (d *Device) execParallel() {
+	if d.pool == nil || d.pool.Size() != d.Workers {
+		d.pool.Close()
+		d.pool = NewPool(d.Workers)
+		// Bind the worker method once: passing a fresh closure to Run
+		// would allocate every cycle.
+		d.poolTask = d.execWorker
 	}
-	partials := d.partialScratch[:workers]
+	n := d.pool.Size()
+	if cap(d.partialScratch) < n {
+		d.partialScratch = make([]Stats, n)
+	}
+	partials := d.partialScratch[:n]
 	for i := range partials {
 		partials[i] = Stats{}
 	}
-	var wg sync.WaitGroup
-	chunk := (len(active) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, len(active))
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(part []int, st *Stats) {
-			defer wg.Done()
-			for _, i := range part {
-				d.execVault(&d.vaults[i], st)
-			}
-		}(active[lo:hi], &partials[w])
-	}
-	wg.Wait()
+	d.pool.Run(d.poolTask)
 	for i := range partials {
 		d.stats.merge(&partials[i])
 	}
+}
+
+// execWorker is the pool task: worker w services its fixed chunk of the
+// active-vault snapshot, accumulating statistics into its own partial.
+// Workers whose chunk is empty (Workers > len(active)) return
+// immediately — they still cost one wake/park round trip, which is why
+// the fan-out threshold exists.
+func (d *Device) execWorker(w int) {
+	active := d.execScratch
+	n := d.pool.Size()
+	chunk := (len(active) + n - 1) / n
+	lo := min(w*chunk, len(active))
+	hi := min(lo+chunk, len(active))
+	st := &d.partialScratch[w]
+	for _, i := range active[lo:hi] {
+		d.execVault(&d.vaults[i], st)
+	}
+}
+
+// fanoutMin returns the smallest active-vault count worth fanning out,
+// DefaultMinFanout unless the device overrides it via MinFanout.
+func (d *Device) fanoutMin() int {
+	if d.MinFanout > 0 {
+		return d.MinFanout
+	}
+	return DefaultMinFanout
 }
 
 // requestPhase advances requests into the device: host link request

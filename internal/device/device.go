@@ -33,8 +33,10 @@
 //
 // The host API (Send/Recv/Clock) is single-goroutine, as in the
 // original simulator. With Workers > 1 only the execute phase fans out,
-// one goroutine per chunk of active vaults; every shared surface it can
-// reach is either synchronized or single-writer by construction:
+// one persistent pool worker per chunk of active vaults (see Pool; the
+// pool is created lazily and released by Close); every shared surface a
+// worker can reach is either synchronized or single-writer by
+// construction:
 //
 //   - mem.Store: sharded on the address map's vault bits, one RWMutex
 //     per shard, so concurrent vault workers never contend — and are
@@ -231,12 +233,22 @@ type Device struct {
 	// thread-safe.
 	ExecHook func(class hmccmd.Class, rqstFlits, rspFlits, dramBlocks int)
 
-	// Workers selects how many goroutines service vaults during the
+	// Workers selects how many pool workers service vaults during the
 	// execute phase (values <= 1 mean serial). The vault partitioning of
 	// the address space makes parallel execution semantically identical
 	// to serial, except for the interleaving of trace-event emission
-	// within a cycle.
+	// within a cycle. The pool goroutines are started lazily on the
+	// first cycle that crosses the fan-out threshold and released by
+	// Close.
 	Workers int
+
+	// MinFanout is the smallest active-vault count the execute phase
+	// will fan out across the worker pool; smaller active sets run
+	// serially even with Workers > 1 (the pool barrier costs more than
+	// executing a handful of vaults inline). Zero selects
+	// DefaultMinFanout. The threshold changes only where the work runs,
+	// never the results.
+	MinFanout int
 
 	// ForceWalk disables idle skipping, making every clock phase walk
 	// every vault and sample every queue exactly as the original
@@ -265,6 +277,12 @@ type Device struct {
 	// the execute phase (active-vault list and per-worker stat partials).
 	execScratch    []int
 	partialScratch []Stats
+
+	// pool is the persistent execute-phase worker pool, created lazily
+	// by the first fan-out and released by Close; poolTask is the
+	// execWorker method value bound once so Run stays allocation-free.
+	pool     *Pool
+	poolTask func(int)
 
 	// latHist, when RegisterMetrics has run, holds one end-to-end latency
 	// histogram per command class; Recv observes the send-to-recv cycle
@@ -353,6 +371,28 @@ func New(id int, cfg config.Config, tracer trace.Tracer) (*Device, error) {
 		d.vaults[i].rsp.SetSampleBase(&d.stats.Cycles)
 	}
 	return d, nil
+}
+
+// DefaultMinFanout is the default execute-phase fan-out threshold: with
+// fewer active vaults than this, waking the worker pool costs more than
+// executing the vaults inline, so the device stays on the serial path.
+// Measured on the pooled-exec benchmark the crossover sits well below 8
+// active vaults even at high per-vault load; 8 keeps hot-spot workloads
+// (one active vault) strictly serial while full-device traffic fans out.
+const DefaultMinFanout = 8
+
+// Close releases the execute-phase worker pool, if one was started. The
+// device remains fully usable afterwards — reports, stats and the serial
+// clock path are untouched, and a later parallel cycle simply starts a
+// fresh pool. Close is idempotent. Callers that enable Workers > 1 own
+// the pool's lifetime: a device abandoned without Close leaks its
+// parked worker goroutines until process exit.
+func (d *Device) Close() {
+	if d.pool != nil {
+		d.pool.Close()
+		d.pool = nil
+		d.poolTask = nil
+	}
 }
 
 // poolChunk is how many Flights or Rqsts a pool miss materializes at

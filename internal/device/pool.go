@@ -1,0 +1,103 @@
+package device
+
+import "sync/atomic"
+
+// Pool is a persistent worker pool: a fixed set of long-lived goroutines
+// that execute one task function per epoch and rendezvous on a barrier
+// before the epoch's Run call returns. It replaces the per-cycle
+// goroutine spawning the execute phase originally used — at simulation
+// rates (millions of cycles per second of wall time) the go + WaitGroup
+// round trip per cycle dominates the fan-out cost, while a persistent
+// pool pays only one channel handoff per worker per epoch and keeps the
+// workers' stacks and scheduler state hot across cycles.
+//
+// The handoff protocol is deliberately minimal:
+//
+//   - Run stores the epoch's task, resets the remaining-worker count and
+//     sends one token on each worker's wake channel (buffered, so the
+//     sends never block).
+//   - Each worker executes task(w) and decrements the count; the worker
+//     that reaches zero signals the done channel.
+//   - Run returns after receiving the done signal. The atomic
+//     decrement chain orders every worker's task execution before Run's
+//     return, so the caller may freely read anything the workers wrote.
+//
+// Determinism is the caller's contract: workers are identified by their
+// fixed index w in [0, Size()), so a caller that partitions work by
+// index and merges per-worker results in index order gets bit-identical
+// output on every run regardless of scheduling.
+//
+// A Pool is not reentrant (one Run at a time) and is intended to be
+// owned by a single clocking goroutine, exactly like the device and
+// topology structures it serves.
+type Pool struct {
+	n      int
+	task   func(worker int)
+	wake   []chan struct{}
+	done   chan struct{}
+	remain atomic.Int32
+	closed bool
+}
+
+// NewPool starts a pool of n persistent workers (n < 1 is treated as 1).
+// Callers must Close the pool when done with it; the goroutines block on
+// their wake channels between epochs and are not reclaimed by the
+// garbage collector.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{
+		n:    n,
+		wake: make([]chan struct{}, n),
+		done: make(chan struct{}, 1),
+	}
+	for w := 0; w < n; w++ {
+		p.wake[w] = make(chan struct{}, 1)
+		go p.worker(w)
+	}
+	return p
+}
+
+// Size returns the fixed worker count.
+func (p *Pool) Size() int { return p.n }
+
+// Run executes task(w) for every worker index w and blocks until all
+// workers finish. Passing a pre-bound method value (stored once at pool
+// creation) keeps Run allocation-free; an ad-hoc closure allocates once
+// per call.
+func (p *Pool) Run(task func(worker int)) {
+	p.task = task
+	p.remain.Store(int32(p.n))
+	for _, c := range p.wake {
+		c <- struct{}{}
+	}
+	<-p.done
+	// Every worker's task read is ordered before its decrement, and the
+	// final decrement is ordered before the done signal, so clearing the
+	// task here cannot race; it just avoids pinning the callee between
+	// epochs.
+	p.task = nil
+}
+
+func (p *Pool) worker(w int) {
+	for range p.wake[w] {
+		p.task(w)
+		if p.remain.Add(-1) == 0 {
+			p.done <- struct{}{}
+		}
+	}
+}
+
+// Close shuts the workers down. Idempotent; a nil pool is a no-op. The
+// pool must not be running (no Run in flight) and must not be used
+// again after Close.
+func (p *Pool) Close() {
+	if p == nil || p.closed {
+		return
+	}
+	p.closed = true
+	for _, c := range p.wake {
+		close(c)
+	}
+}

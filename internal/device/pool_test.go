@@ -1,0 +1,258 @@
+package device
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/hmccmd"
+	"repro/internal/packet"
+)
+
+// TestPoolEpochs drives the barrier protocol through many epochs: every
+// worker must run exactly once per Run, Run must not return before all
+// workers finish, and Close must be idempotent.
+func TestPoolEpochs(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	if p.Size() != 8 {
+		t.Fatalf("Size = %d, want 8", p.Size())
+	}
+	counts := make([]atomic.Int64, p.Size())
+	var total atomic.Int64
+	task := func(w int) {
+		counts[w].Add(1)
+		total.Add(1)
+	}
+	const epochs = 1000
+	for e := 1; e <= epochs; e++ {
+		p.Run(task)
+		// The barrier guarantees every worker of this epoch has finished.
+		if got := total.Load(); got != int64(e*p.Size()) {
+			t.Fatalf("epoch %d: %d total executions, want %d", e, got, e*p.Size())
+		}
+	}
+	for w := range counts {
+		if got := counts[w].Load(); got != epochs {
+			t.Fatalf("worker %d ran %d times, want %d", w, got, epochs)
+		}
+	}
+	p.Close()
+	p.Close() // idempotent
+	var nilPool *Pool
+	nilPool.Close() // nil-safe
+}
+
+// TestPoolMinSize pins the n<1 clamp.
+func TestPoolMinSize(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	if p.Size() != 1 {
+		t.Fatalf("NewPool(0).Size() = %d, want 1", p.Size())
+	}
+	ran := false
+	p.Run(func(int) { ran = true })
+	if !ran {
+		t.Fatal("single-worker pool did not run the task")
+	}
+}
+
+// vaultAddr returns an address routed to vault v (row k) under the test
+// configuration's address map: consecutive max-size blocks interleave
+// across vaults.
+func vaultAddr(cfg config.Config, v, k int) uint64 {
+	block := uint64(cfg.MaxBlockSize)
+	return (uint64(k)*uint64(cfg.Vaults) + uint64(v)) * block
+}
+
+// driveVaults sends one RD16 to each of the first `active` vaults, clocks
+// the device until all responses return, and reports the count received.
+func driveVaults(t *testing.T, d *Device, cfg config.Config, active, round int) int {
+	t.Helper()
+	for v := 0; v < active; v++ {
+		r := &packet.Rqst{Cmd: hmccmd.RD16, ADRS: vaultAddr(cfg, v, round%4), TAG: uint16(v)}
+		if err := d.Send(v%cfg.Links, r); err != nil {
+			t.Fatalf("vault %d: %v", v, err)
+		}
+	}
+	got := 0
+	for c := 0; c < 32 && got < active; c++ {
+		d.Clock()
+		for l := 0; l < cfg.Links; l++ {
+			for {
+				rsp, ok := d.Recv(l)
+				if !ok {
+					break
+				}
+				packet.PutRsp(rsp)
+				got++
+			}
+		}
+	}
+	return got
+}
+
+// TestExecChunkingEdges exercises the pool partitioning at its edges:
+// more workers than active vaults (most chunks empty), workers equal to
+// the active count, and a lone active vault on a wide pool. MinFanout=1
+// forces every case onto the pooled path.
+func TestExecChunkingEdges(t *testing.T) {
+	cfg := config.TwoGBDev()
+	cases := []struct {
+		name            string
+		workers, active int
+	}{
+		{"workers-gt-active", 64, 5},
+		{"workers-eq-active", 8, 8},
+		{"single-active-wide-pool", 16, 1},
+		{"uneven-chunks", 3, 7},
+		{"all-vaults", 4, cfg.Vaults},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := New(0, cfg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d.Close()
+			d.Workers = tc.workers
+			d.MinFanout = 1
+			for round := 0; round < 3; round++ {
+				if got := driveVaults(t, d, cfg, tc.active, round); got != tc.active {
+					t.Fatalf("round %d: %d responses, want %d", round, got, tc.active)
+				}
+			}
+			if d.pool == nil {
+				t.Fatal("pooled path never engaged (MinFanout=1 should force it)")
+			}
+			if d.pool.Size() != tc.workers {
+				t.Fatalf("pool size %d, want %d", d.pool.Size(), tc.workers)
+			}
+			want := Stats{}
+			want.Rqsts[hmccmd.ClassRead] = uint64(3 * tc.active)
+			if got := d.Stats().Rqsts[hmccmd.ClassRead]; got != want.Rqsts[hmccmd.ClassRead] {
+				t.Fatalf("read count %d, want %d", got, want.Rqsts[hmccmd.ClassRead])
+			}
+		})
+	}
+}
+
+// TestDeviceCloseAndReengage pins the pool lifecycle: Close releases the
+// pool, the device keeps working (serially or by restarting a pool), and
+// changing Workers mid-run resizes the pool.
+func TestDeviceCloseAndReengage(t *testing.T) {
+	cfg := config.TwoGBDev()
+	d, err := New(0, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Workers, d.MinFanout = 4, 1
+	if got := driveVaults(t, d, cfg, 8, 0); got != 8 {
+		t.Fatalf("got %d responses, want 8", got)
+	}
+	d.Close()
+	if d.pool != nil {
+		t.Fatal("Close left the pool installed")
+	}
+	d.Close() // idempotent
+	if got := driveVaults(t, d, cfg, 8, 1); got != 8 {
+		t.Fatalf("after Close: got %d responses, want 8", got)
+	}
+	d.Workers = 2 // resize: next fan-out must rebuild the pool
+	if got := driveVaults(t, d, cfg, 8, 2); got != 8 {
+		t.Fatalf("after resize: got %d responses, want 8", got)
+	}
+	if d.pool == nil || d.pool.Size() != 2 {
+		t.Fatalf("pool not resized to Workers=2")
+	}
+	d.Close()
+}
+
+// splitmix64 is the test's deterministic traffic stream.
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// runSeededTraffic drives a fixed pseudorandom mix of reads, writes and
+// atomics across every vault of the device and returns its final report
+// string. The traffic depends only on the seed, so two devices driven
+// with the same seed must report byte-identically regardless of Workers.
+func runSeededTraffic(t *testing.T, d *Device, cfg config.Config, seed uint64) string {
+	t.Helper()
+	rng := splitmix64(seed)
+	payload := []uint64{1, 2}
+	for burst := 0; burst < 20; burst++ {
+		n := 8 + int(rng.next()%uint64(3*cfg.Vaults))
+		sent := 0
+		for i := 0; i < n; i++ {
+			v := int(rng.next() % uint64(cfg.Vaults))
+			r := packet.Rqst{ADRS: vaultAddr(cfg, v, int(rng.next()%8)), TAG: uint16(i)}
+			switch rng.next() % 3 {
+			case 0:
+				r.Cmd = hmccmd.RD16
+			case 1:
+				r.Cmd, r.Payload = hmccmd.WR16, payload
+			default:
+				r.Cmd, r.Payload = hmccmd.ADD16, payload
+			}
+			if err := d.Send(i%cfg.Links, &r); err != nil {
+				continue // deterministic: stall depends only on prior traffic
+			}
+			if !r.Cmd.Posted() {
+				sent++
+			}
+		}
+		got := 0
+		for c := 0; c < 64 && got < sent; c++ {
+			d.Clock()
+			for l := 0; l < cfg.Links; l++ {
+				for {
+					rsp, ok := d.Recv(l)
+					if !ok {
+						break
+					}
+					packet.PutRsp(rsp)
+					got++
+				}
+			}
+		}
+		if got != sent {
+			t.Fatalf("burst %d: %d responses, want %d", burst, got, sent)
+		}
+	}
+	rep := d.BuildReport()
+	return fmt.Sprintf("%s\nimbalance=%.6f ops/cycle=%.6f stats=%+v",
+		rep.String(), rep.LoadImbalance(), rep.OpsPerCycle(), d.Stats())
+}
+
+// TestPooledExecDeterminism is the engine's bit-identity pin at the
+// device level: across seeds, a serial device and a pooled device fed
+// identical traffic must produce byte-identical reports (counters, queue
+// statistics, per-vault ops — everything Report captures).
+func TestPooledExecDeterminism(t *testing.T) {
+	cfg := config.TwoGBDev()
+	for _, seed := range []uint64{1, 42, 0xDEADBEEF} {
+		serial, err := New(0, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pooled, err := New(0, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pooled.Workers, pooled.MinFanout = 8, 1
+		a := runSeededTraffic(t, serial, cfg, seed)
+		b := runSeededTraffic(t, pooled, cfg, seed)
+		pooled.Close()
+		if a != b {
+			t.Errorf("seed %#x: serial and pooled reports diverge:\n--- serial\n%s\n--- pooled\n%s", seed, a, b)
+		}
+	}
+}

@@ -102,12 +102,19 @@ func WithSampler(sm *metrics.Sampler) Option {
 	return func(o *options) { o.sampler = sm }
 }
 
-// WithParallelClock services vaults with n worker goroutines during each
-// device's execute phase. The address map partitions memory by vault, so
-// results are identical to serial execution; large configurations with
-// heavy per-cycle load simulate faster on multicore hosts. CMC
-// operations must touch only their target block (all shipped operations
-// do).
+// WithParallelClock enables the parallel cycle engine with n persistent
+// pool workers: each device's execute phase services active vaults
+// across the pool (above the adaptive fan-out threshold,
+// device.DefaultMinFanout), and multi-cube topologies additionally step
+// their devices concurrently each cycle. The address map partitions
+// memory by vault and inter-cube packet exchange happens only at cycle
+// boundaries, so results are bit-identical to serial execution; large
+// configurations with heavy per-cycle load simulate faster on multicore
+// hosts. CMC operations must touch only their target block (all shipped
+// operations do).
+//
+// The pool goroutines persist across cycles; call Simulator.Close when
+// done with the simulation to release them (the workload runners do).
 func WithParallelClock(n int) Option {
 	return func(o *options) { o.workers = n }
 }
@@ -149,7 +156,8 @@ func New(cfg config.Config, opts ...Option) (*Simulator, error) {
 		hook := s.pm.ChargeRequest
 		if o.workers > 1 {
 			// The power model is not thread-safe; serialize the hook
-			// under parallel clocking.
+			// under parallel clocking (intra-device exec workers and
+			// concurrently stepped topology devices both reach it).
 			var mu sync.Mutex
 			inner := hook
 			hook = func(class hmccmd.Class, rqstFlits, rspFlits, dramBlocks int) {
@@ -166,6 +174,9 @@ func New(cfg config.Config, opts ...Option) (*Simulator, error) {
 		for _, d := range tp.Devices() {
 			d.Workers = o.workers
 		}
+		// Multi-cube topologies also step their devices concurrently;
+		// SetWorkers caps the pool at the device count.
+		tp.SetWorkers(o.workers)
 	}
 	if o.faultPlan != nil {
 		s.faultPlan = *o.faultPlan
@@ -208,6 +219,33 @@ func (s *Simulator) Clock() {
 		s.sampler.MaybeSample(s.cycle)
 	}
 }
+
+// ClockN advances the simulation n cycles — the batched clock driver.
+// Hosts that clock without per-cycle work (draining a known-latency
+// pipeline, idling a device, benchmark loops) amortize the per-cycle
+// facade dispatch: with no power model or sampler attached the whole
+// batch runs inside the topology (whose single-cube fast path skips the
+// forwarding scans), and the parallel engine's worker pool stays hot
+// across the batch. Results are identical to calling Clock n times.
+func (s *Simulator) ClockN(n uint64) {
+	if s.pm == nil && s.sampler == nil {
+		s.cycle += n
+		s.topo.ClockN(n)
+		return
+	}
+	for i := uint64(0); i < n; i++ {
+		s.Clock()
+	}
+}
+
+// Close releases the parallel cycle engine's worker pools — every
+// device's execute pool and the topology's stepping pool. Simulations
+// that never enabled WithParallelClock have nothing to release. The
+// simulator remains fully usable afterwards (reports, stats, even
+// further clocking, which falls back to serial until a parallel cycle
+// restarts a pool); Close exists so drivers that build many simulators
+// (sweeps) do not accumulate parked goroutines. Idempotent.
+func (s *Simulator) Close() { s.topo.Close() }
 
 // Send submits a request on a host link (hmcsim_send); the request's CUB
 // field selects the target cube. A full link queue returns

@@ -1,0 +1,215 @@
+package topo
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/hmccmd"
+	"repro/internal/packet"
+)
+
+// driveChain runs a fixed traffic pattern against a 4-cube chain and
+// returns a full observable transcript: every response in arrival order
+// (cycle, link, tag, cube), the forwarding counters, and each device's
+// statistics. Two topologies given the same pattern must produce
+// byte-identical transcripts regardless of worker configuration.
+func driveChain(t *testing.T, tp *Topology) string {
+	t.Helper()
+	cfg := tp.Devices()[0].Cfg
+	var log strings.Builder
+	payload := []uint64{7, 9}
+	next := 0
+	inflight := 0
+	const total = 256
+	for cycle := 0; cycle < 4000 && (next < total || inflight > 0); cycle++ {
+		// Issue up to one request per link per cycle, round-robining the
+		// target cube and alternating reads with writes.
+		for l := 0; l < cfg.Links && next < total; l++ {
+			r := packet.Rqst{
+				ADRS: uint64(next%64) * uint64(cfg.MaxBlockSize),
+				TAG:  uint16(next),
+				CUB:  uint8(next % len(tp.Devices())),
+			}
+			if next%3 == 0 {
+				r.Cmd, r.Payload = hmccmd.WR16, payload
+			} else {
+				r.Cmd = hmccmd.RD16
+			}
+			if err := tp.Send(l, &r); err != nil {
+				break // stalled link: retry the same request next cycle
+			}
+			next++
+			inflight++
+		}
+		tp.Clock()
+		for l := 0; l < cfg.Links; l++ {
+			for {
+				rsp, ok := tp.Recv(l)
+				if !ok {
+					break
+				}
+				fmt.Fprintf(&log, "c=%d l=%d tag=%d cub=%d cmd=%v\n", tp.Cycle(), l, rsp.TAG, rsp.CUB, rsp.Cmd)
+				packet.PutRsp(rsp)
+				inflight--
+			}
+		}
+	}
+	if inflight != 0 || next != total {
+		t.Fatalf("traffic did not drain: next=%d inflight=%d", next, inflight)
+	}
+	fmt.Fprintf(&log, "fwdRqst=%d fwdRsp=%d\n", tp.ForwardedRqsts, tp.ForwardedRsps)
+	for _, d := range tp.Devices() {
+		fmt.Fprintf(&log, "dev%d %s", d.ID, d.BuildReport().String())
+	}
+	return log.String()
+}
+
+// TestTopoParallelEquivalence pins the multi-cube engine's determinism:
+// a serially stepped 4-cube chain and one stepped by a 4-worker pool
+// (with pooled vault execution nested inside every device) must produce
+// byte-identical transcripts — same response ordering and timing, same
+// forwarding counters, same per-device reports.
+func TestTopoParallelEquivalence(t *testing.T) {
+	serial := newChain(t, 4)
+	want := driveChain(t, serial)
+
+	pooled := newChain(t, 4)
+	pooled.SetWorkers(4)
+	defer pooled.Close()
+	for _, d := range pooled.Devices() {
+		d.Workers = 4
+		d.MinFanout = 1
+	}
+	got := driveChain(t, pooled)
+
+	if got != want {
+		t.Errorf("pooled transcript diverges from serial:\n--- serial\n%s\n--- pooled\n%s", want, got)
+	}
+}
+
+// TestTopoClockNEquivalence pins the batched driver against per-cycle
+// clocking on a multi-cube chain with traffic in flight.
+func TestTopoClockNEquivalence(t *testing.T) {
+	a := newChain(t, 3)
+	b := newChain(t, 3)
+	for i := 0; i < 8; i++ {
+		ra := packet.Rqst{Cmd: hmccmd.RD16, ADRS: uint64(i) * 0x100, TAG: uint16(i), CUB: uint8(i % 3)}
+		rb := ra
+		if err := a.Send(0, &ra); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Send(0, &rb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for c := 0; c < 40; c++ {
+		a.Clock()
+	}
+	b.ClockN(40)
+	if a.Cycle() != b.Cycle() {
+		t.Fatalf("cycle counters diverge: %d vs %d", a.Cycle(), b.Cycle())
+	}
+	for {
+		ra, oka := a.Recv(0)
+		rb, okb := b.Recv(0)
+		if oka != okb {
+			t.Fatalf("response availability diverges: %v vs %v", oka, okb)
+		}
+		if !oka {
+			break
+		}
+		if ra.TAG != rb.TAG || ra.CUB != rb.CUB {
+			t.Fatalf("response diverges: tag %d/%d cub %d/%d", ra.TAG, rb.TAG, ra.CUB, rb.CUB)
+		}
+		packet.PutRsp(ra)
+		packet.PutRsp(rb)
+	}
+}
+
+// TestTopoClockNSingleFastPath pins the single-cube fast path: ClockN
+// must advance the clock and the device identically to n Clock calls.
+func TestTopoClockNSingleFastPath(t *testing.T) {
+	tp, err := New(KindSingle, 1, config.TwoGBDev(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Send(0, &packet.Rqst{Cmd: hmccmd.RD16, TAG: 9}); err != nil {
+		t.Fatal(err)
+	}
+	tp.ClockN(10)
+	if tp.Cycle() != 10 {
+		t.Fatalf("Cycle = %d, want 10", tp.Cycle())
+	}
+	if got := tp.Devices()[0].Stats().Cycles; got != 10 {
+		t.Fatalf("device cycles = %d, want 10", got)
+	}
+	if rsp, ok := tp.Recv(0); !ok {
+		t.Fatal("no response after ClockN(10)")
+	} else {
+		packet.PutRsp(rsp)
+	}
+}
+
+// TestTopoRecvBackingReuse pins the Recv head-index fix: draining a
+// forwarded-response queue must rewind onto the same backing array (no
+// re-slice leak), nil out consumed packet references, and keep capacity
+// bounded across many forward/drain rounds.
+func TestTopoRecvBackingReuse(t *testing.T) {
+	tp := newChain(t, 2)
+	var capAfterWarm int
+	for round := 0; round < 50; round++ {
+		// Two remote reads per round so the queue holds >1 entry.
+		for i := 0; i < 2; i++ {
+			r := packet.Rqst{Cmd: hmccmd.RD16, ADRS: uint64(i) * 0x40, TAG: uint16(2*round + i), CUB: 1}
+			if err := tp.Send(0, &r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Clock until both forwarded responses are queued and deliverable.
+		got := 0
+		for c := 0; c < 40 && got < 2; c++ {
+			tp.Clock()
+			q, h := tp.pendingRsp[0], tp.rspHead[0]
+			if len(q)-h < 2 || q[h].deliverAt > tp.cycle {
+				continue
+			}
+			// Pop the first entry only: the consumed slot must drop its
+			// packet reference while the second entry is still pending.
+			rsp, ok := tp.Recv(0)
+			if !ok {
+				t.Fatalf("round %d: head entry not deliverable", round)
+			}
+			packet.PutRsp(rsp)
+			got++
+			if tp.rspHead[0] != 1 {
+				t.Fatalf("round %d: rspHead = %d, want 1", round, tp.rspHead[0])
+			}
+			if tp.pendingRsp[0][0].rsp != nil {
+				t.Fatalf("round %d: consumed head still references its packet", round)
+			}
+			// Drain the rest; the queue must rewind to len 0, head 0.
+			for {
+				rsp, ok := tp.Recv(0)
+				if !ok {
+					break
+				}
+				packet.PutRsp(rsp)
+				got++
+			}
+		}
+		if got != 2 {
+			t.Fatalf("round %d: drained %d responses, want 2", round, got)
+		}
+		if len(tp.pendingRsp[0]) != 0 || tp.rspHead[0] != 0 {
+			t.Fatalf("round %d: queue not rewound: len=%d head=%d", round, len(tp.pendingRsp[0]), tp.rspHead[0])
+		}
+		if round == 4 {
+			capAfterWarm = cap(tp.pendingRsp[0])
+		}
+	}
+	if c := cap(tp.pendingRsp[0]); capAfterWarm == 0 || c != capAfterWarm {
+		t.Errorf("backing array not reused: cap %d after warmup, %d after 50 rounds", capAfterWarm, c)
+	}
+}

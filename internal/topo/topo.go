@@ -85,10 +85,21 @@ type Topology struct {
 	cycle uint64
 
 	pendingRqst []delayedRqst
-	pendingRsp  [][]delayedRsp // per host link
+	// pendingRsp holds forwarded responses in transit, one FIFO per host
+	// link. Each queue is consumed through its rspHead index rather than
+	// by re-slicing, so the backing array (and the consumed entries'
+	// capacity) is reused once the queue drains instead of leaking behind
+	// the slice head on long chained runs.
+	pendingRsp [][]delayedRsp
+	rspHead    []int
 	// ForwardedRqsts and ForwardedRsps count packets that crossed at
 	// least one inter-cube hop.
 	ForwardedRqsts, ForwardedRsps uint64
+
+	// pool steps the devices concurrently each cycle when SetWorkers
+	// enabled it; stepFn is the bound worker method (allocated once).
+	pool   *device.Pool
+	stepFn func(int)
 }
 
 // New builds n identically configured devices wired as kind. A nil tracer
@@ -109,7 +120,53 @@ func New(kind Kind, n int, cfg config.Config, tracer trace.Tracer) (*Topology, e
 		t.devs = append(t.devs, d)
 	}
 	t.pendingRsp = make([][]delayedRsp, cfg.Links)
+	t.rspHead = make([]int, cfg.Links)
 	return t, nil
+}
+
+// SetWorkers enables concurrent device stepping: each Clock steps the
+// topology's devices across up to n persistent pool workers (capped at
+// the device count; n <= 1 restores serial stepping). Stepping devices
+// concurrently is legal because inter-cube packet exchange happens only
+// at cycle boundaries — Send/Recv and the hop-delay transfers all run
+// single-threaded in link order before and after the step — so results
+// are bit-identical to serial stepping; only the interleaving of
+// trace-event emission within one cycle is unordered (exactly the
+// parallel-execute-phase caveat, and the tracers serialize Emit).
+//
+// The caller owns the pool lifetime: Close releases it.
+func (t *Topology) SetWorkers(n int) {
+	t.pool.Close()
+	t.pool, t.stepFn = nil, nil
+	if n > len(t.devs) {
+		n = len(t.devs)
+	}
+	if n > 1 {
+		t.pool = device.NewPool(n)
+		t.stepFn = t.stepWorker
+	}
+}
+
+// stepWorker is the pool task: worker w clocks its fixed contiguous
+// chunk of the device list.
+func (t *Topology) stepWorker(w int) {
+	n := t.pool.Size()
+	chunk := (len(t.devs) + n - 1) / n
+	lo := min(w*chunk, len(t.devs))
+	hi := min(lo+chunk, len(t.devs))
+	for _, d := range t.devs[lo:hi] {
+		d.Clock()
+	}
+}
+
+// Close releases the topology's stepping pool and every device's
+// execute-phase pool. The topology remains usable serially afterwards.
+func (t *Topology) Close() {
+	t.pool.Close()
+	t.pool, t.stepFn = nil, nil
+	for _, d := range t.devs {
+		d.Close()
+	}
 }
 
 // Devices returns the topology's devices; device 0 is host-attached.
@@ -185,9 +242,19 @@ func (t *Topology) Recv(link int) (*packet.Rsp, bool) {
 		return nil, false
 	}
 	q := t.pendingRsp[link]
-	if len(q) > 0 && q[0].deliverAt <= t.cycle {
-		rsp := q[0].rsp
-		t.pendingRsp[link] = q[1:]
+	h := t.rspHead[link]
+	if h < len(q) && q[h].deliverAt <= t.cycle {
+		rsp := q[h].rsp
+		q[h].rsp = nil // release the head entry's packet reference
+		h++
+		if h == len(q) {
+			// Drained: rewind onto the same backing array so steady-state
+			// forwarding stops allocating once the queue reaches its
+			// high-water capacity.
+			t.pendingRsp[link] = q[:0]
+			h = 0
+		}
+		t.rspHead[link] = h
 		return rsp, true
 	}
 	return nil, false
@@ -212,8 +279,17 @@ func (t *Topology) Clock() {
 
 	t.cycle++
 
-	for _, d := range t.devs {
-		d.Clock()
+	// Step every device. During a device cycle no inter-cube state is
+	// touched (the exchange above and the collection below bracket it),
+	// so the devices of a multi-cube topology step concurrently when a
+	// pool is installed; single-cube topologies and serial mode pay
+	// nothing.
+	if t.pool != nil {
+		t.pool.Run(t.stepFn)
+	} else {
+		for _, d := range t.devs {
+			d.Clock()
+		}
 	}
 
 	// Collect responses surfacing on remote devices and start them on
@@ -233,6 +309,28 @@ func (t *Topology) Clock() {
 				t.ForwardedRsps++
 			}
 		}
+	}
+}
+
+// ClockN advances the topology n cycles — the batched form of Clock.
+// Single-cube topologies with nothing in transit take a fast path that
+// skips the forwarding scans entirely, so a tight host loop (or
+// Simulator.ClockN) pays only the device's own cycle cost; multi-cube
+// topologies run the full per-cycle exchange, keeping results
+// bit-identical to n sequential Clock calls in every configuration.
+func (t *Topology) ClockN(n uint64) {
+	if len(t.devs) == 1 && len(t.pendingRqst) == 0 {
+		// A single cube never forwards (Send routes CUB 0 directly), so
+		// the pending queues stay empty for the whole batch.
+		d := t.devs[0]
+		t.cycle += n
+		for i := uint64(0); i < n; i++ {
+			d.Clock()
+		}
+		return
+	}
+	for i := uint64(0); i < n; i++ {
+		t.Clock()
 	}
 }
 

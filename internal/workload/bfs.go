@@ -250,6 +250,7 @@ func RunBFS(cfg config.Config, mode BFSMode, threads, vertices, degree int, seed
 	if err != nil {
 		return BFSResult{}, err
 	}
+	defer s.Close()
 	if mode == BFSCMC {
 		if err := s.LoadCMC("hmc_visit"); err != nil {
 			return BFSResult{}, err

@@ -169,6 +169,7 @@ func RunGUPS(cfg config.Config, mode GUPSMode, threads int, tableBlocks, updates
 	if err != nil {
 		return GUPSResult{}, err
 	}
+	defer s.Close()
 	agents := make([]Agent, threads)
 	gups := make([]GUPSAgent, threads)
 	per := updates / uint64(threads)

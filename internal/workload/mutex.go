@@ -147,6 +147,7 @@ func RunMutex(cfg config.Config, threads int, lockAddr uint64, opts ...sim.Optio
 	if err != nil {
 		return MutexRun{}, err
 	}
+	defer s.Close()
 	for _, name := range []string{"hmc_lock", "hmc_trylock", "hmc_unlock"} {
 		if err := s.LoadCMC(name); err != nil {
 			return MutexRun{}, err

@@ -253,6 +253,7 @@ func RunBandwidthProbe(cfg config.Config, threads, width int, blocksPerThread ui
 	if err != nil {
 		return BandwidthProbeResult{}, err
 	}
+	defer s.Close()
 	agents := make([]PipelinedAgent, threads)
 	for i := range agents {
 		agents[i] = &PipelinedReader{

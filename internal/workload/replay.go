@@ -245,6 +245,7 @@ func RunReplay(cfg config.Config, threads int, ops []ReplayOp, opts ...sim.Optio
 	if err != nil {
 		return ReplayResult{}, err
 	}
+	defer s.Close()
 	agents := make([]Agent, threads)
 	replays := make([]*ReplayAgent, threads)
 	for i := range agents {

@@ -166,6 +166,7 @@ func RunRWLock(cfg config.Config, readers, writers, rounds int, opts ...sim.Opti
 	if err != nil {
 		return RWResult{}, err
 	}
+	defer s.Close()
 	for _, name := range []string{"hmc_rdlock", "hmc_rdunlock", "hmc_wrlock", "hmc_wrunlock"} {
 		if err := s.LoadCMC(name); err != nil {
 			return RWResult{}, err

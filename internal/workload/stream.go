@@ -132,6 +132,7 @@ func RunStream(cfg config.Config, threads int, blocks uint64, clockGHz float64, 
 	if err != nil {
 		return StreamResult{}, err
 	}
+	defer s.Close()
 	const q = 3
 	capacity := cfg.CapacityBytes()
 	aBase := uint64(0)

@@ -154,6 +154,7 @@ func RunTicketMutex(cfg config.Config, threads int, addr uint64, opts ...sim.Opt
 	if err != nil {
 		return TicketRun{}, err
 	}
+	defer s.Close()
 	for _, name := range []string{"hmc_ticket", "hmc_ticket_next"} {
 		if err := s.LoadCMC(name); err != nil {
 			return TicketRun{}, err

@@ -82,7 +82,11 @@ const (
 )
 
 // Run drives the agents against the simulator until every agent is done,
-// one issue/clock/drain step per device cycle.
+// one issue/clock/drain step per device cycle. Cycles on which every
+// unfinished agent has a response in flight skip the issue scan
+// entirely (the run-until-event fast path) — with blocking agents and
+// long device latencies most cycles take it, so the driver overhead
+// scales with issue events rather than agent-count × cycles.
 //
 // Responses are returned to the packet pool after each Complete call:
 // agents must not retain the response or its payload past Complete.
@@ -115,6 +119,16 @@ func Run(s *sim.Simulator, agents []Agent, maxCycles uint64) (Result, error) {
 		remaining++
 	}
 
+	// outstanding counts agents with a response in flight. When every
+	// unfinished agent is waiting on the device (outstanding ==
+	// remaining, which also implies no stalled sends: a pending retry
+	// belongs to a non-outstanding agent), the issue phase cannot do
+	// anything — the run-until-event loop below skips the agent scan and
+	// just clocks and drains until a response frees an agent. Skipping a
+	// no-op phase changes no observable: the same requests enter the
+	// device on the same cycles either way.
+	outstanding := 0
+
 	for remaining > 0 {
 		if s.Cycle() >= maxCycles {
 			return res, fmt.Errorf("%w: %d agents unfinished after %d cycles",
@@ -124,48 +138,51 @@ func Run(s *sim.Simulator, agents []Agent, maxCycles uint64) (Result, error) {
 		// Issue phase: idle agents produce their next request in fixed
 		// agent order (deterministic host arbitration); stalled sends
 		// retry without consulting the agent again.
-		for i, a := range agents {
-			st := &state[i]
-			if st.done || st.outstanding {
-				continue
-			}
-			r := st.pending
-			if r == nil {
-				r = a.Next(s.Cycle())
+		if outstanding != remaining {
+			for i, a := range agents {
+				st := &state[i]
+				if st.done || st.outstanding {
+					continue
+				}
+				r := st.pending
 				if r == nil {
-					if a.Done() && !st.done {
-						// Agent finished without a trailing response
-						// (e.g. a posted final op).
-						st.done = true
-						res.CompletionCycles[i] = s.Cycle()
-						remaining--
+					r = a.Next(s.Cycle())
+					if r == nil {
+						if a.Done() && !st.done {
+							// Agent finished without a trailing response
+							// (e.g. a posted final op).
+							st.done = true
+							res.CompletionCycles[i] = s.Cycle()
+							remaining--
+						}
+						continue
+					}
+					r.TAG = uint16(i)
+					r.SLID = uint8(i % links)
+				}
+				if err := s.Send(int(r.SLID), r); err != nil {
+					st.pending = r // HMC_STALL: retry next cycle
+					res.SendStalls++
+					if sendStalls != nil {
+						sendStalls.Inc()
 					}
 					continue
 				}
-				r.TAG = uint16(i)
-				r.SLID = uint8(i % links)
-			}
-			if err := s.Send(int(r.SLID), r); err != nil {
-				st.pending = r // HMC_STALL: retry next cycle
-				res.SendStalls++
-				if sendStalls != nil {
-					sendStalls.Inc()
+				st.pending = nil
+				res.Rqsts++
+				if r.Cmd.Posted() {
+					// No response will arrive; the agent continues next cycle.
+					if opLat != nil {
+						opLat.Observe(0)
+					}
+					if err := a.Complete(nil, s.Cycle()); err != nil {
+						return res, fmt.Errorf("%w: agent %d: %v", ErrAgentFault, i, err)
+					}
+				} else {
+					st.outstanding = true
+					st.issueCycle = s.Cycle()
+					outstanding++
 				}
-				continue
-			}
-			st.pending = nil
-			res.Rqsts++
-			if r.Cmd.Posted() {
-				// No response will arrive; the agent continues next cycle.
-				if opLat != nil {
-					opLat.Observe(0)
-				}
-				if err := a.Complete(nil, s.Cycle()); err != nil {
-					return res, fmt.Errorf("%w: agent %d: %v", ErrAgentFault, i, err)
-				}
-			} else {
-				st.outstanding = true
-				st.issueCycle = s.Cycle()
 			}
 		}
 
@@ -183,6 +200,7 @@ func Run(s *sim.Simulator, agents []Agent, maxCycles uint64) (Result, error) {
 					return res, fmt.Errorf("%w: response with unexpected tag %d", ErrAgentFault, rsp.TAG)
 				}
 				state[i].outstanding = false
+				outstanding--
 				if opLat != nil {
 					opLat.Observe(s.Cycle() - state[i].issueCycle)
 				}

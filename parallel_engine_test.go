@@ -1,0 +1,86 @@
+package hmcsim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// The parallel cycle engine must be invisible in every workload result:
+// a pooled run (persistent vault-execution workers, batched clocking)
+// has to reproduce the serial run bit for bit. This test pins that for
+// all six workloads on both paper configurations, comparing the full
+// workload result structs and every device's final report. The pooled
+// runs lower MinFanout to 1 so even sparse workloads (mutex: one active
+// vault) actually cross the pooled execute path rather than taking the
+// adaptive serial fallback.
+
+// engineCapture runs one workload and renders everything observable —
+// the workload's own result struct plus each device's report — into one
+// comparable string.
+func runWorkloadCapture(t *testing.T, run func(opts ...Option) (any, error), pooled bool) string {
+	t.Helper()
+	var sim *Simulator
+	opts := []Option{WithObserver(func(s *Simulator) {
+		sim = s
+		if pooled {
+			for _, d := range s.Devices() {
+				d.MinFanout = 1
+			}
+		}
+	})}
+	if pooled {
+		opts = append(opts, WithParallelClock(8))
+	}
+	res, err := run(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "result=%+v\n", res)
+	for _, d := range sim.Devices() {
+		fmt.Fprintf(&b, "dev%d %s", d.ID, d.BuildReport().String())
+	}
+	return b.String()
+}
+
+// TestSerialPooledWorkloadEquivalence is the engine's acceptance test:
+// serial and pooled runs are bit-identical for all six workloads on both
+// presets.
+func TestSerialPooledWorkloadEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload equivalence matrix is not short")
+	}
+	configs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"4Link-4GB", FourLink4GB()},
+		{"8Link-8GB", EightLink8GB()},
+	}
+	for _, c := range configs {
+		cfg := c.cfg
+		workloads := []struct {
+			name string
+			run  func(opts ...Option) (any, error)
+		}{
+			{"mutex", func(opts ...Option) (any, error) { return RunMutex(cfg, 24, 0x40, opts...) }},
+			{"stream", func(opts ...Option) (any, error) { return RunStream(cfg, 16, 128, 1.25, opts...) }},
+			{"gups", func(opts ...Option) (any, error) { return RunGUPS(cfg, GUPSAtomic, 16, 4096, 1024, opts...) }},
+			{"bfs", func(opts ...Option) (any, error) { return RunBFS(cfg, BFSCMC, 8, 300, 4, 1, opts...) }},
+			{"replay", func(opts ...Option) (any, error) {
+				return RunReplay(cfg, 8, GenerateStrideTrace(0, 512), opts...)
+			}},
+			{"rwlock", func(opts ...Option) (any, error) { return RunRWLock(cfg, 8, 4, 5, opts...) }},
+		}
+		for _, w := range workloads {
+			t.Run(c.name+"/"+w.name, func(t *testing.T) {
+				serial := runWorkloadCapture(t, w.run, false)
+				pooled := runWorkloadCapture(t, w.run, true)
+				if serial != pooled {
+					t.Errorf("serial and pooled runs diverge:\n--- serial\n%s\n--- pooled\n%s", serial, pooled)
+				}
+			})
+		}
+	}
+}

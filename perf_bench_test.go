@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"repro/internal/hmccmd"
+	"repro/internal/topo"
 )
 
 // benchDevice builds a quiet 4Link-4GB simulator for micro-benchmarks.
@@ -204,6 +205,127 @@ func BenchmarkMutexSweepParallel(b *testing.B) {
 		if _, err := MutexSweepParallel(FourLink4GB(), benchSweepLo, benchSweepHi, 0x40, runtime.NumCPU()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Parallel cycle engine benchmarks ---
+
+// chainBatch issues one RD64 per (cube, vault) pair across the host
+// links of a 4-cube chain and clocks until every response returns — one
+// fully loaded multi-cube batch round trip.
+func chainBatch(b *testing.B, s *Simulator, cfg Config, reqs []*Rqst) {
+	b.Helper()
+	sent := 0
+	for i, r := range reqs {
+		if err := s.Send(i%cfg.Links, r); err != nil {
+			b.Fatal(err)
+		}
+		sent++
+	}
+	got := 0
+	for c := 0; c < 4096 && got < sent; c++ {
+		s.Clock()
+		for l := 0; l < cfg.Links; l++ {
+			for {
+				rsp, ok := s.Recv(l)
+				if !ok {
+					break
+				}
+				ReleaseRsp(rsp)
+				got++
+			}
+		}
+	}
+	if got != sent {
+		b.Fatalf("chain batch drained %d of %d responses", got, sent)
+	}
+}
+
+// benchChainLoop measures a loaded 4-cube chained clock loop: every
+// vault of every cube holds work, so each cycle pays four full device
+// execute phases plus the inter-cube exchange. workers <= 1 is the
+// serial engine; workers > 1 steps the cubes concurrently with pooled
+// vault execution inside each.
+func benchChainLoop(b *testing.B, workers int) {
+	cfg := FourLink4GB()
+	var opts []Option
+	if workers > 1 {
+		opts = append(opts, WithParallelClock(workers))
+	}
+	opts = append(opts, WithDevices(4, topo.KindChain))
+	s, err := New(cfg, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	var reqs []*Rqst
+	tag := uint16(0)
+	for cub := 0; cub < 4; cub++ {
+		for v := 0; v < cfg.Vaults; v++ {
+			r, err := BuildRead(cub, uint64(v)*uint64(cfg.MaxBlockSize), tag, 0, 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			reqs = append(reqs, r)
+			tag++
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chainBatch(b, s, cfg, reqs)
+	}
+}
+
+// BenchmarkTopoChainClockSerial measures the serially stepped chained
+// loop — the baseline for the engine's wall-clock acceptance criterion.
+func BenchmarkTopoChainClockSerial(b *testing.B) { benchChainLoop(b, 1) }
+
+// BenchmarkTopoChainClockPooled measures the same loop with the
+// persistent worker pools engaged: four workers, one per cube step,
+// with nested vault pools inside each device. The worker count is fixed
+// (not NumCPU) so the pooled path is exercised identically on every
+// host; the wall-clock win over the serial baseline requires
+// GOMAXPROCS >= the cube count, and on a single-core host this
+// measures the engine's handoff overhead instead.
+func BenchmarkTopoChainClockPooled(b *testing.B) { benchChainLoop(b, 4) }
+
+// BenchmarkPooledExecPhase measures the execute phase of one device with
+// all 32 vaults loaded — the direct serial-vs-pooled comparison of the
+// fan-out machinery without topology forwarding in the way.
+func BenchmarkPooledExecPhase(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"workers8", 8},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := FourLink4GB()
+			var opts []Option
+			if bc.workers > 1 {
+				opts = append(opts, WithParallelClock(bc.workers))
+			}
+			s, err := New(cfg, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			var reqs []*Rqst
+			for v := 0; v < cfg.Vaults; v++ {
+				r, err := BuildRead(0, uint64(v)*uint64(cfg.MaxBlockSize), uint16(v), 0, 64)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reqs = append(reqs, r)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				chainBatch(b, s, cfg, reqs)
+			}
+		})
 	}
 }
 

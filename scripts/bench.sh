@@ -15,14 +15,23 @@ set -eu
 cd "$(dirname "$0")/.."
 date="$(date +%F)"
 out="BENCH_${date}.json"
+# Never clobber an existing record: same-day reruns get a numeric suffix
+# so earlier baselines stay diffable.
+n=1
+while [ -e "$out" ]; do
+    n=$((n + 1))
+    out="BENCH_${date}.${n}.json"
+done
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-# Most recent prior baseline, captured before $out is (re)written.
-prev="$(ls BENCH_*.json 2>/dev/null | grep -v "^${out}\$" | sort | tail -1 || true)"
+# Most recent prior baseline (by modification time — suffixed same-day
+# records sort wrongly under a lexical sort), captured before $out is
+# written.
+prev="$(ls -1t BENCH_*.json 2>/dev/null | head -1 || true)"
 
 go test -run '^$' \
-    -bench 'BenchmarkClockLoop|BenchmarkMutexSweep|BenchmarkPacket|BenchmarkCRC|BenchmarkMetrics|BenchmarkFault' \
+    -bench 'BenchmarkClockLoop|BenchmarkMutexSweep|BenchmarkPacket|BenchmarkCRC|BenchmarkMetrics|BenchmarkFault|BenchmarkTopoChainClock|BenchmarkPooledExecPhase' \
     -benchmem -benchtime 1s "$@" . | tee "$raw"
 
 awk -v date="$date" '

@@ -11,6 +11,6 @@ set -eux
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/device ./internal/fault ./internal/mem ./internal/metrics ./internal/sim
-go test -race -run 'TestParallelClock|TestClockModeEquivalence' .
+go test -race ./internal/device ./internal/fault ./internal/mem ./internal/metrics ./internal/sim ./internal/topo
+go test -race -run 'TestParallelClock|TestClockModeEquivalence|TestSerialPooledWorkloadEquivalence' .
 go test -run '^$' -bench . -benchtime 1x ./...
