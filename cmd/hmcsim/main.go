@@ -52,6 +52,7 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 1, "fault injection seed; the same seed reproduces the exact fault sequence")
 	faultKinds := flag.String("fault-kinds", "all", "comma-separated fault kinds: crc, flip, drop, down or all")
 	execWorkers := flag.Int("exec-workers", 1, "parallel cycle engine workers per simulation: vault execution and multi-cube stepping (1 = serial)")
+	eventClock := flag.Bool("event-clock", true, "event-driven cycle scheduler: fast-forward provably idle spans (false = per-cycle reference engine)")
 	flag.Parse()
 
 	if *printCommands {
@@ -129,6 +130,9 @@ func main() {
 	}
 	if *execWorkers > 1 {
 		opts = append(opts, hmcsim.WithParallelClock(*execWorkers))
+	}
+	if !*eventClock {
+		opts = append(opts, hmcsim.WithEventClock(false))
 	}
 	if *devices > 1 || *topoName != "single" {
 		kind, err := topoKind(*topoName)

@@ -139,6 +139,12 @@ var (
 	// the pools; Simulator.ClockN is the batched clock driver that keeps
 	// them hot across cycles.
 	WithParallelClock = sim.WithParallelClock
+	// WithEventClock selects the cycle scheduler. It defaults to true —
+	// the event-driven calendar that fast-forwards provably idle spans
+	// and skips quiescent cubes, bit-identical to per-cycle stepping.
+	// WithEventClock(false) forces the per-cycle reference engine (the
+	// topology-level analogue of the device ForceWalk escape hatch).
+	WithEventClock = sim.WithEventClock
 )
 
 // ExecMinFanout is the parallel engine's default fan-out threshold:

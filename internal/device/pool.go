@@ -1,91 +1,184 @@
 package device
 
-import "sync/atomic"
+import (
+	"runtime"
+	"sync/atomic"
+)
 
 // Pool is a persistent worker pool: a fixed set of long-lived goroutines
 // that execute one task function per epoch and rendezvous on a barrier
 // before the epoch's Run call returns. It replaces the per-cycle
 // goroutine spawning the execute phase originally used — at simulation
 // rates (millions of cycles per second of wall time) the go + WaitGroup
-// round trip per cycle dominates the fan-out cost, while a persistent
-// pool pays only one channel handoff per worker per epoch and keeps the
-// workers' stacks and scheduler state hot across cycles.
+// round trip per cycle dominates the fan-out cost.
 //
-// The handoff protocol is deliberately minimal:
+// The handoff is a striped atomic barrier rather than per-epoch channel
+// round trips. One epoch counter starts the epoch; each worker owns a
+// cache-line-padded completion stripe it bumps to the epoch number when
+// its task finishes. Between epochs a worker spins briefly on the epoch
+// counter (epochs arrive back-to-back in clock loops, so the next one
+// usually lands within the spin window) and only then parks on its wake
+// channel; Run wakes only workers that actually parked. The channel
+// round trip — two scheduler crossings per worker per epoch — is thereby
+// paid only across idle gaps, not in the steady state, shrinking the
+// fixed fan-out cost the execute phase and the topology step pay.
 //
-//   - Run stores the epoch's task, resets the remaining-worker count and
-//     sends one token on each worker's wake channel (buffered, so the
-//     sends never block).
-//   - Each worker executes task(w) and decrements the count; the worker
-//     that reaches zero signals the done channel.
-//   - Run returns after receiving the done signal. The atomic
-//     decrement chain orders every worker's task execution before Run's
-//     return, so the caller may freely read anything the workers wrote.
+//   - Run publishes the task, increments the epoch counter, wakes any
+//     parked workers, then waits on each completion stripe in worker
+//     order (spinning with Gosched — epochs are microseconds).
+//   - Worker w observes the new epoch (spin or wake), runs task(w), and
+//     stores the epoch number into its stripe.
+//   - The parked-flag/epoch handshake uses sequentially consistent
+//     atomics both ways, so either the worker sees the new epoch before
+//     parking or Run sees the parked flag and sends the wake token (the
+//     token channel is buffered: a stale token only costs the worker one
+//     extra loop).
 //
-// Determinism is the caller's contract: workers are identified by their
-// fixed index w in [0, Size()), so a caller that partitions work by
-// index and merges per-worker results in index order gets bit-identical
-// output on every run regardless of scheduling.
+// On a single-processor runtime (GOMAXPROCS=1) goroutine "parallelism"
+// is pure context-switch overhead, so Run executes the tasks inline on
+// the caller's goroutine instead. The result is identical either way:
+// workers are identified by their fixed index w in [0, Size()), so a
+// caller that partitions work by index and merges per-worker results in
+// index order gets bit-identical output regardless of scheduling — the
+// same determinism contract as before, which the inline path trivially
+// satisfies by running indexes in ascending order.
 //
 // A Pool is not reentrant (one Run at a time) and is intended to be
 // owned by a single clocking goroutine, exactly like the device and
 // topology structures it serves.
 type Pool struct {
-	n      int
-	task   func(worker int)
+	n    int
+	task func(worker int)
+
+	// epoch starts epochs; doneAt[w] is worker w's completion stripe,
+	// padded so the per-epoch stores don't false-share a cache line.
+	epoch  atomic.Uint64
+	doneAt []doneStripe
+
+	// parked[w] is set while worker w blocks on wake[w]; Run only pays
+	// the channel send for workers that actually parked.
+	parked []atomic.Bool
 	wake   []chan struct{}
-	done   chan struct{}
-	remain atomic.Int32
-	closed bool
+
+	closed atomic.Bool
+	// started defers goroutine creation until the first Run that needs
+	// them, so pools living entirely on the inline path cost none.
+	started bool
 }
 
-// NewPool starts a pool of n persistent workers (n < 1 is treated as 1).
-// Callers must Close the pool when done with it; the goroutines block on
-// their wake channels between epochs and are not reclaimed by the
-// garbage collector.
+// doneStripe pads one worker's completion counter to a cache line.
+type doneStripe struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// spinIters bounds how long a worker spins on the epoch counter before
+// parking. Checks are cheap loads; the occasional Gosched keeps a spin
+// from starving the clocking goroutine when the runtime is scheduling
+// more goroutines than processors.
+const spinIters = 1 << 12
+
+// NewPool builds a pool of n persistent workers (n < 1 is treated as 1).
+// Worker goroutines start lazily on the first Run that fans out (none
+// ever start while GOMAXPROCS is 1); callers must Close the pool when
+// done with it — parked workers are not reclaimed by the garbage
+// collector.
 func NewPool(n int) *Pool {
 	if n < 1 {
 		n = 1
 	}
-	p := &Pool{
-		n:    n,
-		wake: make([]chan struct{}, n),
-		done: make(chan struct{}, 1),
+	return &Pool{
+		n:      n,
+		doneAt: make([]doneStripe, n),
+		parked: make([]atomic.Bool, n),
+		wake:   make([]chan struct{}, n),
 	}
-	for w := 0; w < n; w++ {
-		p.wake[w] = make(chan struct{}, 1)
-		go p.worker(w)
-	}
-	return p
 }
 
 // Size returns the fixed worker count.
 func (p *Pool) Size() int { return p.n }
 
 // Run executes task(w) for every worker index w and blocks until all
-// workers finish. Passing a pre-bound method value (stored once at pool
+// have finished. Passing a pre-bound method value (stored once at pool
 // creation) keeps Run allocation-free; an ad-hoc closure allocates once
 // per call.
 func (p *Pool) Run(task func(worker int)) {
-	p.task = task
-	p.remain.Store(int32(p.n))
-	for _, c := range p.wake {
-		c <- struct{}{}
+	if p.n == 1 || runtime.GOMAXPROCS(0) == 1 {
+		// No parallelism to be had: run inline in index order. This is
+		// the deterministic merge order, so results are bit-identical
+		// to the fanned-out path, minus every handoff cost.
+		for w := 0; w < p.n; w++ {
+			task(w)
+		}
+		return
 	}
-	<-p.done
-	// Every worker's task read is ordered before its decrement, and the
-	// final decrement is ordered before the done signal, so clearing the
-	// task here cannot race; it just avoids pinning the callee between
-	// epochs.
+	if !p.started {
+		p.start()
+	}
+	p.task = task
+	e := p.epoch.Add(1)
+	for w := range p.wake {
+		if p.parked[w].Load() {
+			select {
+			case p.wake[w] <- struct{}{}:
+			default: // stale token already buffered
+			}
+		}
+	}
+	for w := range p.doneAt {
+		for p.doneAt[w].v.Load() < e {
+			runtime.Gosched()
+		}
+	}
+	// Every stripe reached e, ordering all task effects before this
+	// point; clearing the callee just avoids pinning it between epochs.
 	p.task = nil
 }
 
+func (p *Pool) start() {
+	p.started = true
+	for w := 0; w < p.n; w++ {
+		p.wake[w] = make(chan struct{}, 1)
+		go p.worker(w)
+	}
+}
+
 func (p *Pool) worker(w int) {
-	for range p.wake[w] {
-		p.task(w)
-		if p.remain.Add(-1) == 0 {
-			p.done <- struct{}{}
+	var last uint64
+	for {
+		e := p.epoch.Load()
+		if e == last {
+			// Idle: spin a bounded while for the next epoch, then park.
+			idle := true
+			for i := 0; i < spinIters; i++ {
+				if p.epoch.Load() != last {
+					idle = false
+					break
+				}
+				if i&255 == 255 {
+					runtime.Gosched()
+				}
+			}
+			if idle {
+				p.parked[w].Store(true)
+				// Re-check after publishing the flag: Run increments the
+				// epoch before reading parked flags, so (SC atomics) either
+				// this load sees the new epoch or Run sees the flag.
+				if p.epoch.Load() == last {
+					if _, ok := <-p.wake[w]; !ok {
+						return // Close
+					}
+				}
+				p.parked[w].Store(false)
+			}
+			continue
 		}
+		if p.closed.Load() {
+			return
+		}
+		last = e
+		p.task(w)
+		p.doneAt[w].v.Store(e)
 	}
 }
 
@@ -93,10 +186,15 @@ func (p *Pool) worker(w int) {
 // pool must not be running (no Run in flight) and must not be used
 // again after Close.
 func (p *Pool) Close() {
-	if p == nil || p.closed {
+	if p == nil || p.closed.Swap(true) {
 		return
 	}
-	p.closed = true
+	if !p.started {
+		return
+	}
+	// Bump the epoch so spinning workers fall through to the closed
+	// check, and close the wake channels so parked workers return.
+	p.epoch.Add(1)
 	for _, c := range p.wake {
 		close(c)
 	}

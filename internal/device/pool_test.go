@@ -2,8 +2,10 @@ package device
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/hmccmd"
@@ -42,6 +44,56 @@ func TestPoolEpochs(t *testing.T) {
 	p.Close() // idempotent
 	var nilPool *Pool
 	nilPool.Close() // nil-safe
+}
+
+// TestPoolConcurrentBarrier forces the pool off its GOMAXPROCS==1
+// inline fallback and onto the striped atomic barrier: worker
+// goroutines, epoch publication, spin/park/wake handshakes and Close
+// while parked. GOMAXPROCS is raised for the test's duration so the
+// concurrent path runs even on a single-core CI host.
+func TestPoolConcurrentBarrier(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	p := NewPool(4)
+	defer p.Close()
+	counts := make([]atomic.Int64, p.Size())
+	var total atomic.Int64
+	task := func(w int) {
+		counts[w].Add(1)
+		total.Add(1)
+	}
+	// Back-to-back epochs: workers stay in their spin loops, the barrier
+	// alone sequences them.
+	const hotEpochs = 500
+	for e := 1; e <= hotEpochs; e++ {
+		p.Run(task)
+		if got := total.Load(); got != int64(e*p.Size()) {
+			t.Fatalf("hot epoch %d: %d total executions, want %d", e, got, e*p.Size())
+		}
+	}
+	// Park/wake handshake: let the workers spin out and park, then start
+	// another epoch — Run must wake every parked worker (the Dekker
+	// recheck in the worker prevents a missed wake).
+	for round := 0; round < 3; round++ {
+		time.Sleep(20 * time.Millisecond)
+		p.Run(task)
+		want := int64((hotEpochs + round + 1) * p.Size())
+		if got := total.Load(); got != want {
+			t.Fatalf("post-park round %d: %d total executions, want %d", round, got, want)
+		}
+	}
+	for w := range counts {
+		if got := counts[w].Load(); got != hotEpochs+3 {
+			t.Fatalf("worker %d ran %d times, want %d", w, got, hotEpochs+3)
+		}
+	}
+	// Close with workers parked: the closed wake channels must release
+	// them (no goroutine leak; run under -race this also checks the
+	// shutdown publication).
+	time.Sleep(20 * time.Millisecond)
+	p.Close()
+	p.Close() // idempotent after concurrent use
 }
 
 // TestPoolMinSize pins the n<1 clamp.

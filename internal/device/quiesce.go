@@ -1,0 +1,170 @@
+package device
+
+// Quiescence tracking: the device-level half of the event-driven cycle
+// scheduler. NextEventCycle computes a lower bound on the next cycle
+// whose Clock() could change observable state, and SkipCycles
+// fast-forwards the device over a span the caller proved idle,
+// reconciling the per-cycle statistics (cycle counter, occupancy
+// samples) so the result is bit-identical to clocking every cycle.
+//
+// The bound leans on the same lazy-evaluation discipline that makes the
+// dirty-bitset idle skipping of the serial clock exact: bank readyAt,
+// retry-slot retirement and fault-injector draws are all evaluated at
+// the moment a packet moves, never per cycle, so a device whose queues
+// cannot move has literally nothing to do. The only per-cycle mutations
+// in the whole clock are (a) packet movement and its counters, (b) stall
+// counters on blocked movement, and (c) occupancy sampling of non-empty
+// queues — (a) and (b) force a bound of cycle+1 below, and (c) is what
+// SkipCycles reconciles.
+
+// NeverCycle is the NextEventCycle result of a fully quiescent device:
+// no queued packet anywhere, so no future Clock can do anything until
+// new traffic arrives via Send.
+const NeverCycle = ^uint64(0)
+
+// NextEventCycle returns a cycle E such that every Clock() call
+// advancing the device to a cycle strictly below E is a no-op apart
+// from the cycle counter and occupancy sampling of frozen queues —
+// exactly the effects SkipCycles replays arithmetically. Callers may
+// therefore SkipCycles(n) for any n with cycle+n < E (equivalently
+// n <= E-1-cycle) and remain bit-identical to per-cycle stepping.
+//
+// The bound is conservative and cheap, not tight: any state that could
+// move a packet or touch a counter on the next Clock returns cycle+1
+// (no skip). Three regimes emerge:
+//
+//   - NeverCycle: every queue is empty. Bank busy windows, un-retired
+//     retry slots and armed fault injectors do not matter — all are
+//     evaluated lazily when a packet next moves.
+//   - A park expiry: the only queued packets are heads parked behind
+//     link retry windows (retryUntil — CRC/Flip retry sequences and
+//     Drop retransmit timeouts) or link-down windows (downUntil). The
+//     device resumes at the earliest such expiry; until then the gate
+//     returns before touching any counter or injector stream.
+//   - cycle+1: anything else — queued vault work, crossbar requests, a
+//     movable head, or a head whose blocked movement counts a stall
+//     every cycle (serialization-budget overflow).
+//
+// ForceWalk disables skipping entirely (bound cycle+1), mirroring its
+// role in the per-vault idle skipping.
+func (d *Device) NextEventCycle() uint64 {
+	next := d.cycle + 1
+	if d.ForceWalk {
+		return next
+	}
+	// Queued vault work executes (or counts bank-conflict/backpressure
+	// stalls) every cycle, and queued crossbar requests route every
+	// cycle (or count xbar backpressure): both pin the bound.
+	for _, w := range d.vaultRqstMask {
+		if w != 0 {
+			return next
+		}
+	}
+	for _, w := range d.vaultRspMask {
+		if w != 0 {
+			return next
+		}
+	}
+	for li := range d.xbar.rqst {
+		if !d.xbar.rqst[li].Empty() {
+			return next
+		}
+	}
+	bound := NeverCycle
+	for li := range d.links {
+		l := &d.links[li]
+		if f, ok := l.rqst.Peek(); ok {
+			flits := int(f.Rqst.LNG)
+			if flits == 0 {
+				flits = int(f.Rqst.Cmd.InfoRef().RqstFlits)
+			}
+			e := d.headParkedUntil(l, &l.rqstDir, flits)
+			if e < bound {
+				bound = e
+			}
+		}
+		if f, ok := d.xbar.rsp[li].Peek(); ok {
+			e := d.headParkedUntil(l, &l.rspDir, int(f.Rsp.LNG))
+			if e < bound {
+				bound = e
+			}
+		}
+		// l.rsp (host-facing responses awaiting Recv) is deliberately
+		// not a bound: the device itself never moves it, so it only
+		// freezes and samples across a skip. Topology-attached remote
+		// cubes drain it at every stepped cycle, so it is empty at
+		// every cycle boundary there (see topo's collect loop).
+		if bound == next {
+			return next
+		}
+	}
+	return bound
+}
+
+// headParkedUntil returns the cycle the head packet of one link
+// direction can next make progress (or next touch a counter trying).
+// The order mirrors the phase code exactly: the serialization-budget
+// check runs before the link gate (a too-big head counts LinkSerStalls
+// every cycle even while parked), a disabled gate never parks, and an
+// enabled gate parks the direction while cycle < downUntil (link-wide
+// outage) or cycle < retryUntil (retry sequence / retransmit timeout)
+// without touching retry state or drawing from the fault stream.
+func (d *Device) headParkedUntil(l *Link, dir *linkDir, flits int) uint64 {
+	if flits > d.Cfg.LinkFlitsPerCycle {
+		return d.cycle + 1
+	}
+	if dir.inj == nil && d.Cfg.LinkFaultPeriod == 0 {
+		return d.cycle + 1
+	}
+	until := l.downUntil
+	if dir.retryUntil > until {
+		until = dir.retryUntil
+	}
+	if until <= d.cycle+1 {
+		return d.cycle + 1
+	}
+	return until
+}
+
+// SkipCycles advances the device n cycles without running the clock
+// phases — the event-driven fast-forward. It is legal only when
+// cycle+n < NextEventCycle() (the caller's proof that no phase could
+// have done anything), and it replays the two per-cycle effects a
+// skipped span still has: the cycle/stats counters advance, and every
+// non-empty (necessarily frozen) queue receives its per-cycle occupancy
+// samples. Empty queues need nothing — their skipped samples are
+// reconstructed from the cycle counter by SetSampleBase, the same
+// mechanism the per-vault idle skipping uses.
+func (d *Device) SkipCycles(n uint64) {
+	d.cycle += n
+	d.stats.Cycles += n
+	for li := range d.links {
+		l := &d.links[li]
+		if !l.rqst.Empty() {
+			l.rqst.AddOccupancySamples(n)
+		}
+		if !l.rsp.Empty() {
+			l.rsp.AddOccupancySamples(n)
+		}
+		if q := &d.xbar.rsp[li]; !q.Empty() {
+			q.AddOccupancySamples(n)
+		}
+	}
+	// The skip preconditions guarantee the crossbar request queues and
+	// every vault queue are empty (NextEventCycle pins the bound to
+	// cycle+1 otherwise), so no other queue can hold occupancy.
+}
+
+// HostRspQueued reports whether any host link holds a response awaiting
+// Recv. The topology uses it to keep a remote cube on the stepped path
+// (its responses must start their return hop the cycle they surface);
+// for the host-attached device it is also the run-until-event loop's
+// "response available" signal.
+func (d *Device) HostRspQueued() bool {
+	for i := range d.links {
+		if !d.links[i].rsp.Empty() {
+			return true
+		}
+	}
+	return false
+}

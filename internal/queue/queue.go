@@ -145,6 +145,17 @@ func (q *Queue[T]) Sample() {
 	q.stats.samples++
 }
 
+// AddOccupancySamples records n occupancy samples at the current queue
+// length in one step — the reconciliation a cycle skip performs for a
+// queue whose contents are provably frozen across the skipped span. It
+// is arithmetically identical to calling Sample n times while nothing
+// pushes or pops: the occupancy sum grows by length×n, the sample count
+// by n, and MaxOccupancy cannot change because the length does not.
+func (q *Queue[T]) AddOccupancySamples(n uint64) {
+	q.stats.occupancySum += uint64(q.count) * n
+	q.stats.samples += n
+}
+
 // SetSampleBase ties the queue's sample count to an external cycle
 // counter, licensing the owner to skip Sample() while the queue is
 // empty: Stats() then reports samples = max(recorded, *cycles), which

@@ -46,6 +46,7 @@ type options struct {
 	metricsReg  *metrics.Registry
 	sampler     *metrics.Sampler
 	faultPlan   *fault.Plan
+	eventOff    bool
 }
 
 // Option configures a Simulator.
@@ -119,6 +120,16 @@ func WithParallelClock(n int) Option {
 	return func(o *options) { o.workers = n }
 }
 
+// WithEventClock toggles event-driven cycle scheduling (on by default).
+// The event scheduler consults a per-cube next-event calendar to
+// fast-forward provably-idle cubes and whole idle spans; results are
+// bit-identical to per-cycle stepping in every configuration, so
+// disabling it exists for debugging and for equivalence-suite reference
+// runs (the topology-level analogue of device.ForceWalk).
+func WithEventClock(on bool) Option {
+	return func(o *options) { o.eventOff = !on }
+}
+
 // Simulator is one simulation context.
 type Simulator struct {
 	cfg       config.Config
@@ -147,6 +158,9 @@ func New(cfg config.Config, opts ...Option) (*Simulator, error) {
 		return nil, err
 	}
 	s := &Simulator{cfg: cfg, topo: tp}
+	if o.eventOff {
+		tp.SetEventDriven(false)
+	}
 	if o.powerModel != nil {
 		s.pm = o.powerModel
 	} else if o.powerParams != nil {
@@ -236,6 +250,43 @@ func (s *Simulator) ClockN(n uint64) {
 	for i := uint64(0); i < n; i++ {
 		s.Clock()
 	}
+}
+
+// SetEventDriven toggles the event-driven cycle scheduler at runtime —
+// the method form of WithEventClock, for drivers that flip modes
+// between runs (e.g. the equivalence suite's reference pass).
+func (s *Simulator) SetEventDriven(on bool) { s.topo.SetEventDriven(on) }
+
+// RspAvailable reports whether a Recv on some host link would succeed
+// right now — the polling primitive behind run-until-event drivers.
+func (s *Simulator) RspAvailable() bool { return s.topo.RspAvailable() }
+
+// ClockUntilRecv advances the simulation until a response is available
+// on some host link or budget cycles have elapsed, returning the cycles
+// advanced (at least one when budget permits). It is the run-until-event
+// clock driver: with no power model or sampler attached the whole span
+// runs inside the topology's event scheduler, which jumps provably-idle
+// and fault-parked stretches in one step but never past the cycle a
+// response surfaces — so a caller polling Recv afterwards observes
+// responses on exactly the cycle a clock-and-poll-every-cycle loop
+// would. With a power model or sampler attached (both do strictly
+// per-cycle work) it degrades to per-cycle stepping with the same early
+// exit, keeping results identical in every configuration.
+func (s *Simulator) ClockUntilRecv(budget uint64) uint64 {
+	if s.pm == nil && s.sampler == nil {
+		adv := s.topo.ClockUntilRecv(budget)
+		s.cycle += adv
+		return adv
+	}
+	var adv uint64
+	for adv < budget {
+		s.Clock()
+		adv++
+		if s.topo.RspAvailable() {
+			break
+		}
+	}
+	return adv
 }
 
 // Close releases the parallel cycle engine's worker pools — every

@@ -100,6 +100,18 @@ type Topology struct {
 	// enabled it; stepFn is the bound worker method (allocated once).
 	pool   *device.Pool
 	stepFn func(int)
+
+	// cal is the event scheduler's per-cycle step plan (calendar.go);
+	// eventOff disables event-driven scheduling entirely, restoring
+	// unconditional per-cycle stepping of every cube (SetEventDriven).
+	cal      calendar
+	eventOff bool
+
+	// rqstFree recycles the forwarded-request clones Send buffers in the
+	// hop-delay queue, so steady-state cross-cube traffic allocates
+	// nothing once each clone's payload buffer reaches its high-water
+	// capacity.
+	rqstFree []*packet.Rqst
 }
 
 // New builds n identically configured devices wired as kind. A nil tracer
@@ -121,8 +133,18 @@ func New(kind Kind, n int, cfg config.Config, tracer trace.Tracer) (*Topology, e
 	}
 	t.pendingRsp = make([][]delayedRsp, cfg.Links)
 	t.rspHead = make([]int, cfg.Links)
+	t.cal.init(n)
 	return t, nil
 }
+
+// SetEventDriven toggles event-driven cycle scheduling (on by default):
+// each Clock consults the calendar to fast-forward provably-idle cubes,
+// and the batched drivers (ClockN, ClockUntilRecv) jump whole idle
+// spans. Both modes are bit-identical — the calendar only skips work
+// device.NextEventCycle proves to be a no-op — so turning it off exists
+// as the topology-level analogue of device.ForceWalk: an escape hatch
+// for debugging and for the equivalence suite's reference runs.
+func (t *Topology) SetEventDriven(on bool) { t.eventOff = !on }
 
 // SetWorkers enables concurrent device stepping: each Clock steps the
 // topology's devices across up to n persistent pool workers (capped at
@@ -148,14 +170,20 @@ func (t *Topology) SetWorkers(n int) {
 }
 
 // stepWorker is the pool task: worker w clocks its fixed contiguous
-// chunk of the device list.
+// chunk of the device list, honouring the calendar's step plan in
+// event-driven mode (the plan is filled single-threaded before the pool
+// runs and is read-only during the epoch).
 func (t *Topology) stepWorker(w int) {
 	n := t.pool.Size()
 	chunk := (len(t.devs) + n - 1) / n
 	lo := min(w*chunk, len(t.devs))
 	hi := min(lo+chunk, len(t.devs))
-	for _, d := range t.devs[lo:hi] {
-		d.Clock()
+	for i, d := range t.devs[lo:hi] {
+		if t.eventOff || t.cal.step[lo+i] {
+			d.Clock()
+		} else {
+			d.SkipCycles(1)
+		}
 	}
 }
 
@@ -219,16 +247,38 @@ func (t *Topology) Send(link int, r *packet.Rqst) error {
 		return t.devs[0].Send(link, r)
 	}
 	hops := t.Hops(0, target)
-	// Clone: the packet sits in the hop-delay buffer for several cycles,
-	// and callers are free to reuse their request (and its payload) as
-	// soon as Send returns — the same adoption contract device.Send has.
+	// Adopt by copy: the packet sits in the hop-delay buffer for several
+	// cycles, and callers are free to reuse their request (and its
+	// payload) as soon as Send returns — the same adoption contract
+	// device.Send has. The copy target comes from the topology's free
+	// list (recycled when the forwarded request is delivered), so
+	// steady-state forwarding allocates nothing.
+	c := t.getRqst()
+	c.CopyFrom(r)
 	t.pendingRqst = append(t.pendingRqst, delayedRqst{
 		deliverAt: t.cycle + uint64(hops),
 		link:      link,
-		rqst:      r.Clone(),
+		rqst:      c,
 	})
 	t.ForwardedRqsts++
 	return nil
+}
+
+// getRqst pops a recycled forwarded-request clone, or allocates the
+// free list's first-use entries.
+func (t *Topology) getRqst() *packet.Rqst {
+	if n := len(t.rqstFree); n > 0 {
+		r := t.rqstFree[n-1]
+		t.rqstFree = t.rqstFree[:n-1]
+		return r
+	}
+	return new(packet.Rqst)
+}
+
+// putRqst returns a delivered clone to the free list, keeping its
+// payload buffer for reuse by the next CopyFrom.
+func (t *Topology) putRqst(r *packet.Rqst) {
+	t.rqstFree = append(t.rqstFree, r)
 }
 
 // Recv pops the next response available on a host link: local responses
@@ -260,78 +310,215 @@ func (t *Topology) Recv(link int) (*packet.Rsp, bool) {
 	return nil, false
 }
 
-// Clock advances every device one cycle and moves forwarded packets
-// across the inter-cube hops.
-func (t *Topology) Clock() {
-	// Deliver forwarded requests whose hop delay has elapsed — before the
-	// cycle advances, so each hop costs one full device cycle. A stalled
-	// target link keeps the packet in transit (retried next cycle).
+// deliverPending delivers forwarded requests whose hop delay has
+// elapsed — before the cycle advances, so each hop costs one full
+// device cycle. A stalled target link keeps the packet in transit
+// (retried next cycle); delivered clones return to the free list
+// (device.Send adopts by deep copy).
+func (t *Topology) deliverPending() {
+	if len(t.pendingRqst) == 0 {
+		return
+	}
 	remaining := t.pendingRqst[:0]
 	for _, p := range t.pendingRqst {
 		if p.deliverAt <= t.cycle {
 			if err := t.devs[p.rqst.CUB].Send(p.link, p.rqst); err == nil {
+				t.putRqst(p.rqst)
 				continue
 			}
 		}
 		remaining = append(remaining, p)
 	}
 	t.pendingRqst = remaining
+}
 
-	t.cycle++
-
-	// Step every device. During a device cycle no inter-cube state is
-	// touched (the exchange above and the collection below bracket it),
-	// so the devices of a multi-cube topology step concurrently when a
-	// pool is installed; single-cube topologies and serial mode pay
-	// nothing.
-	if t.pool != nil {
-		t.pool.Run(t.stepFn)
-	} else {
-		for _, d := range t.devs {
-			d.Clock()
-		}
-	}
-
-	// Collect responses surfacing on remote devices and start them on
-	// their return trip.
-	for cub := 1; cub < len(t.devs); cub++ {
-		hops := uint64(t.Hops(0, cub))
-		for link := range t.pendingRsp {
-			for {
-				rsp, ok := t.devs[cub].Recv(link)
-				if !ok {
-					break
-				}
-				t.pendingRsp[link] = append(t.pendingRsp[link], delayedRsp{
-					deliverAt: t.cycle + hops,
-					rsp:       rsp,
-				})
-				t.ForwardedRsps++
+// collectFrom collects responses surfacing on one remote device and
+// starts them on their return trip.
+func (t *Topology) collectFrom(cub int) {
+	hops := uint64(t.Hops(0, cub))
+	for link := range t.pendingRsp {
+		for {
+			rsp, ok := t.devs[cub].Recv(link)
+			if !ok {
+				break
 			}
+			t.pendingRsp[link] = append(t.pendingRsp[link], delayedRsp{
+				deliverAt: t.cycle + hops,
+				rsp:       rsp,
+			})
+			t.ForwardedRsps++
 		}
 	}
 }
 
-// ClockN advances the topology n cycles — the batched form of Clock.
-// Single-cube topologies with nothing in transit take a fast path that
-// skips the forwarding scans entirely, so a tight host loop (or
-// Simulator.ClockN) pays only the device's own cycle cost; multi-cube
-// topologies run the full per-cycle exchange, keeping results
-// bit-identical to n sequential Clock calls in every configuration.
-func (t *Topology) ClockN(n uint64) {
-	if len(t.devs) == 1 && len(t.pendingRqst) == 0 {
+// Clock advances every device one cycle and moves forwarded packets
+// across the inter-cube hops. In event-driven mode (the default) the
+// calendar decides per cube whether to run the full device Clock or a
+// SkipCycles(1) counter bump, the worker pool is bypassed when fewer
+// than two cubes are active (the handoff would outweigh the work), and
+// only stepped cubes are scanned for surfaced responses — a skipped
+// cube's host queues are provably frozen.
+func (t *Topology) Clock() {
+	if len(t.devs) == 1 {
 		// A single cube never forwards (Send routes CUB 0 directly), so
-		// the pending queues stay empty for the whole batch.
-		d := t.devs[0]
-		t.cycle += n
-		for i := uint64(0); i < n; i++ {
-			d.Clock()
+		// the exchange scans are vacuous.
+		t.cycle++
+		t.devs[0].Clock()
+		return
+	}
+	t.deliverPending()
+	t.cycle++
+
+	// Step the devices. During a device cycle no inter-cube state is
+	// touched (the exchange above and the collection below bracket it),
+	// so the devices step concurrently when a pool is installed.
+	if t.eventOff {
+		if t.pool != nil {
+			t.pool.Run(t.stepFn)
+		} else {
+			for _, d := range t.devs {
+				d.Clock()
+			}
+		}
+		for cub := 1; cub < len(t.devs); cub++ {
+			t.collectFrom(cub)
 		}
 		return
 	}
-	for i := uint64(0); i < n; i++ {
-		t.Clock()
+	active := t.planCycle()
+	if t.pool != nil && active > 1 {
+		t.pool.Run(t.stepFn)
+	} else {
+		for i, d := range t.devs {
+			if t.cal.step[i] {
+				d.Clock()
+			} else {
+				d.SkipCycles(1)
+			}
+		}
 	}
+	for cub := 1; cub < len(t.devs); cub++ {
+		if t.cal.step[cub] {
+			t.collectFrom(cub)
+		}
+	}
+}
+
+// ClockN advances the topology n cycles — the batched form of Clock,
+// and the event scheduler's biggest lever: whole provably-idle spans
+// (every cube quiescent or parked behind fault windows, no forwarded
+// packet deliverable) collapse into one SkipCycles jump per cube, and
+// spans where exactly one cube is active batch that cube's device clock
+// back-to-back without per-cycle topology scans or pool handoffs.
+// Results are bit-identical to n sequential Clock calls in every
+// configuration; SetEventDriven(false) restores literal per-cycle
+// stepping.
+func (t *Topology) ClockN(n uint64) {
+	if len(t.devs) == 1 && len(t.pendingRqst) == 0 {
+		d := t.devs[0]
+		if t.eventOff {
+			t.cycle += n
+			for i := uint64(0); i < n; i++ {
+				d.Clock()
+			}
+			return
+		}
+		for n > 0 {
+			b := d.NextEventCycle()
+			var span uint64
+			if b == device.NeverCycle {
+				span = n
+			} else if m := b - 1 - t.cycle; m > 0 {
+				span = min(m, n)
+			}
+			if span > 0 {
+				d.SkipCycles(span)
+				t.cycle += span
+				n -= span
+				continue
+			}
+			t.cycle++
+			d.Clock()
+			n--
+		}
+		return
+	}
+	if t.eventOff {
+		for i := uint64(0); i < n; i++ {
+			t.Clock()
+		}
+		return
+	}
+	for n > 0 {
+		if span := t.jumpSpan(n); span > 0 {
+			t.skipAll(span)
+			n -= span
+			continue
+		}
+		if done := t.clockSingleActive(n); done > 0 {
+			n -= done
+			continue
+		}
+		t.Clock()
+		n--
+	}
+}
+
+// RspAvailable reports whether a host-side Recv would succeed on some
+// link right now: device 0 holds a response, or a forwarded response's
+// hop delay has elapsed at the head of a link's return queue.
+func (t *Topology) RspAvailable() bool {
+	if t.devs[0].HostRspQueued() {
+		return true
+	}
+	for link, q := range t.pendingRsp {
+		h := t.rspHead[link]
+		if h < len(q) && q[h].deliverAt <= t.cycle {
+			return true
+		}
+	}
+	return false
+}
+
+// ClockUntilRecv advances the topology until a response is available to
+// Recv or budget cycles have elapsed, returning the cycles advanced
+// (always at least one when budget permits — mirroring a per-cycle
+// driver that clocks before polling). It is the run-until-event form of
+// ClockN: idle and parked spans are jumped, but never past the cycle a
+// response surfaces or matures, so the caller observes responses on
+// exactly the cycle a clock-and-poll-every-cycle loop would.
+func (t *Topology) ClockUntilRecv(budget uint64) uint64 {
+	if budget == 0 {
+		return 0
+	}
+	if t.RspAvailable() {
+		// Degenerate call (a response is already waiting): advance the
+		// one cycle a clock-and-poll driver would.
+		t.Clock()
+		return 1
+	}
+	var adv uint64
+	for adv < budget {
+		if !t.eventOff {
+			if span := t.recvSpan(budget - adv); span > 0 {
+				t.skipAll(span)
+				adv += span
+				// A jump only lands on (never crosses) a maturity cycle;
+				// device-0 queues are frozen across it, so only the
+				// pendingRsp heads can have become available.
+				if t.RspAvailable() {
+					break
+				}
+				continue
+			}
+		}
+		t.Clock()
+		adv++
+		if t.RspAvailable() {
+			break
+		}
+	}
+	return adv
 }
 
 // Cycle returns the topology clock.

@@ -83,10 +83,12 @@ const (
 
 // Run drives the agents against the simulator until every agent is done,
 // one issue/clock/drain step per device cycle. Cycles on which every
-// unfinished agent has a response in flight skip the issue scan
-// entirely (the run-until-event fast path) — with blocking agents and
-// long device latencies most cycles take it, so the driver overhead
-// scales with issue events rather than agent-count × cycles.
+// unfinished agent has a response in flight skip the issue scan and ride
+// the simulator's event scheduler (ClockUntilRecv) straight to the next
+// response — with blocking agents and long device latencies most cycles
+// take this run-until-event path, so the driver overhead scales with
+// issue events rather than agent-count × cycles, and provably-idle or
+// fault-parked device spans cost one calendar jump instead of a walk.
 //
 // Responses are returned to the packet pool after each Complete call:
 // agents must not retain the response or its payload past Complete.
@@ -135,10 +137,20 @@ func Run(s *sim.Simulator, agents []Agent, maxCycles uint64) (Result, error) {
 				ErrTimeout, remaining, s.Cycle())
 		}
 
-		// Issue phase: idle agents produce their next request in fixed
-		// agent order (deterministic host arbitration); stalled sends
-		// retry without consulting the agent again.
-		if outstanding != remaining {
+		// Run-until-event fast path: when every unfinished agent is
+		// waiting on the device, nothing host-side can happen until a
+		// response surfaces — so ride the event scheduler's calendar
+		// straight to that cycle (or the cycle budget) instead of
+		// clocking one cycle per loop iteration. ClockUntilRecv stops on
+		// exactly the cycle a clock-and-poll-every-cycle driver would
+		// observe the response, so completion cycles, latencies and
+		// device statistics are bit-identical either way.
+		if outstanding == remaining {
+			s.ClockUntilRecv(maxCycles - s.Cycle())
+		} else {
+			// Issue phase: idle agents produce their next request in fixed
+			// agent order (deterministic host arbitration); stalled sends
+			// retry without consulting the agent again.
 			for i, a := range agents {
 				st := &state[i]
 				if st.done || st.outstanding {
@@ -184,9 +196,8 @@ func Run(s *sim.Simulator, agents []Agent, maxCycles uint64) (Result, error) {
 					outstanding++
 				}
 			}
+			s.Clock()
 		}
-
-		s.Clock()
 
 		// Drain phase: hand responses back to their agents.
 		for link := 0; link < links; link++ {

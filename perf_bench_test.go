@@ -241,23 +241,27 @@ func chainBatch(b *testing.B, s *Simulator, cfg Config, reqs []*Rqst) {
 	}
 }
 
-// benchChainLoop measures a loaded 4-cube chained clock loop: every
-// vault of every cube holds work, so each cycle pays four full device
-// execute phases plus the inter-cube exchange. workers <= 1 is the
-// serial engine; workers > 1 steps the cubes concurrently with pooled
-// vault execution inside each.
-func benchChainLoop(b *testing.B, workers int) {
+// chainSim builds the 4-cube chain simulator and request set the chain
+// benchmarks share: one RD64 per (cube, vault) pair. workers <= 1 is
+// the serial engine; workers > 1 steps the cubes concurrently with
+// pooled vault execution inside each. event selects the cycle
+// scheduler: true is the shipped event-driven calendar, false the
+// per-cycle reference engine.
+func chainSim(b *testing.B, workers int, event bool) (*Simulator, Config, []*Rqst) {
+	b.Helper()
 	cfg := FourLink4GB()
 	var opts []Option
 	if workers > 1 {
 		opts = append(opts, WithParallelClock(workers))
+	}
+	if !event {
+		opts = append(opts, WithEventClock(false))
 	}
 	opts = append(opts, WithDevices(4, topo.KindChain))
 	s, err := New(cfg, opts...)
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer s.Close()
 	var reqs []*Rqst
 	tag := uint16(0)
 	for cub := 0; cub < 4; cub++ {
@@ -270,6 +274,15 @@ func benchChainLoop(b *testing.B, workers int) {
 			tag++
 		}
 	}
+	return s, cfg, reqs
+}
+
+// benchChainLoop measures a loaded 4-cube chained clock loop: every
+// vault of every cube holds work, so each cycle pays four full device
+// execute phases plus the inter-cube exchange.
+func benchChainLoop(b *testing.B, workers int, event bool) {
+	s, cfg, reqs := chainSim(b, workers, event)
+	defer s.Close()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -279,16 +292,136 @@ func benchChainLoop(b *testing.B, workers int) {
 
 // BenchmarkTopoChainClockSerial measures the serially stepped chained
 // loop — the baseline for the engine's wall-clock acceptance criterion.
-func BenchmarkTopoChainClockSerial(b *testing.B) { benchChainLoop(b, 1) }
+// Like every benchmark without an explicit WithEventClock(false), it
+// runs the shipped (event-driven) scheduler.
+func BenchmarkTopoChainClockSerial(b *testing.B) { benchChainLoop(b, 1, true) }
 
 // BenchmarkTopoChainClockPooled measures the same loop with the
 // persistent worker pools engaged: four workers, one per cube step,
 // with nested vault pools inside each device. The worker count is fixed
 // (not NumCPU) so the pooled path is exercised identically on every
 // host; the wall-clock win over the serial baseline requires
-// GOMAXPROCS >= the cube count, and on a single-core host this
-// measures the engine's handoff overhead instead.
-func BenchmarkTopoChainClockPooled(b *testing.B) { benchChainLoop(b, 4) }
+// GOMAXPROCS >= the cube count, and on a single-core host the pool runs
+// its tasks inline, so this measures the engine's dispatch overhead.
+func BenchmarkTopoChainClockPooled(b *testing.B) { benchChainLoop(b, 4, true) }
+
+// BenchmarkTopoChainClockEvent pits the three engine modes against each
+// other on the identical loaded chain loop: percycle is the pre-event
+// reference engine (WithEventClock(false), serial), serial and pooled
+// are the shipped event-driven scheduler. The loaded batch bounds the
+// calendar's overhead when there is nothing to skip; the idle win is
+// BenchmarkIdleFastForward's department.
+func BenchmarkTopoChainClockEvent(b *testing.B) {
+	b.Run("percycle", func(b *testing.B) { benchChainLoop(b, 1, false) })
+	b.Run("serial", func(b *testing.B) { benchChainLoop(b, 1, true) })
+	b.Run("pooled", func(b *testing.B) { benchChainLoop(b, 4, true) })
+}
+
+// idleFFSpan is the idle stretch each BenchmarkIdleFastForward
+// iteration advances — long enough that the per-cycle engine's walk
+// dominates, short enough to iterate.
+const idleFFSpan = 4096
+
+// BenchmarkIdleFastForward measures ClockN over a fully idle 4-cube
+// chain — the idle-dominated stretch between workload bursts (mutex
+// backoff, drain tails). The event variant must collapse the whole span
+// into one calendar jump per cube; percycle walks every cycle of every
+// cube. The ≥10x acceptance criterion compares these two numbers.
+func BenchmarkIdleFastForward(b *testing.B) {
+	for _, bc := range []struct {
+		name  string
+		event bool
+	}{
+		{"event", true},
+		{"percycle", false},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			s, cfg, reqs := chainSim(b, 1, bc.event)
+			defer s.Close()
+			// Warm one batch so every pool and queue has traffic behind
+			// it: the idle span being measured is post-burst idleness,
+			// not a never-used simulator.
+			chainBatch(b, s, cfg, reqs[:cfg.Links])
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.ClockN(idleFFSpan)
+			}
+			b.ReportMetric(float64(idleFFSpan)*float64(b.N)/b.Elapsed().Seconds(), "cycles/sec")
+		})
+	}
+}
+
+// TestTopoChainZeroAlloc pins the zero-alloc topo clock: a steady-state
+// multi-cube batch round trip — Send with request forwarding across the
+// chain, clocking under the event scheduler, Recv with response
+// forwarding back — allocates nothing once the free lists are warm. The
+// forwarding path used to Clone every forwarded request (~96 allocs per
+// loaded chain cycle); the topology free list killed that.
+func TestTopoChainZeroAlloc(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"pooled", 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := FourLink4GB()
+			opts := []Option{WithDevices(4, topo.KindChain)}
+			if tc.workers > 1 {
+				opts = append(opts, WithParallelClock(tc.workers))
+			}
+			s, err := New(cfg, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			var reqs []*Rqst
+			tag := uint16(0)
+			for cub := 0; cub < 4; cub++ {
+				for v := 0; v < cfg.Vaults; v++ {
+					r, err := BuildRead(cub, uint64(v)*uint64(cfg.MaxBlockSize), tag, 0, 64)
+					if err != nil {
+						t.Fatal(err)
+					}
+					reqs = append(reqs, r)
+					tag++
+				}
+			}
+			trip := func() {
+				sent := 0
+				for i, r := range reqs {
+					if err := s.Send(i%cfg.Links, r); err != nil {
+						t.Fatal(err)
+					}
+					sent++
+				}
+				got := 0
+				for c := 0; c < 4096 && got < sent; c++ {
+					s.Clock()
+					for l := 0; l < cfg.Links; l++ {
+						for {
+							rsp, ok := s.Recv(l)
+							if !ok {
+								break
+							}
+							ReleaseRsp(rsp)
+							got++
+						}
+					}
+				}
+				if got != sent {
+					t.Fatalf("chain batch drained %d of %d responses", got, sent)
+				}
+			}
+			trip() // warm the packet pools and the topology free list
+			if allocs := testing.AllocsPerRun(100, trip); allocs != 0 {
+				t.Errorf("chained round trip (%s): %.1f allocs/op, want 0", tc.name, allocs)
+			}
+		})
+	}
+}
 
 // BenchmarkPooledExecPhase measures the execute phase of one device with
 // all 32 vaults loaded — the direct serial-vs-pooled comparison of the

@@ -9,11 +9,21 @@
 # WARNING (the script still exits 0 — benchmarks on shared hosts are
 # noisy; the warning is a prompt to re-run and investigate, not a gate).
 #
+# Each record carries the host's GOMAXPROCS and CPU count so diffs can
+# flag apples-to-oranges comparisons: the pooled engine's numbers depend
+# on the core budget, and a record from a 1-core CI host must not be
+# read as a regression against an 8-core workstation. The pooled
+# benchmarks additionally rerun pinned to -cpu 1 and are recorded under
+# .../cpu1 names — a like-with-like single-core baseline every host can
+# reproduce.
+#
 # Usage: ./scripts/bench.sh [extra go test args]
 set -eu
 
 cd "$(dirname "$0")/.."
 date="$(date +%F)"
+numcpu="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)"
+gomaxprocs="${GOMAXPROCS:-$numcpu}"
 out="BENCH_${date}.json"
 # Never clobber an existing record: same-day reruns get a numeric suffix
 # so earlier baselines stay diffable.
@@ -31,10 +41,19 @@ trap 'rm -f "$raw"' EXIT
 prev="$(ls -1t BENCH_*.json 2>/dev/null | head -1 || true)"
 
 go test -run '^$' \
-    -bench 'BenchmarkClockLoop|BenchmarkMutexSweep|BenchmarkPacket|BenchmarkCRC|BenchmarkMetrics|BenchmarkFault|BenchmarkTopoChainClock|BenchmarkPooledExecPhase' \
+    -bench 'BenchmarkClockLoop|BenchmarkMutexSweep|BenchmarkPacket|BenchmarkCRC|BenchmarkMetrics|BenchmarkFault|BenchmarkTopoChainClock|BenchmarkPooledExecPhase|BenchmarkIdleFastForward' \
     -benchmem -benchtime 1s "$@" . | tee "$raw"
 
-awk -v date="$date" '
+# Single-core baseline for the pooled benchmarks: GOMAXPROCS pinned to 1
+# puts the worker pools on their inline path, so these numbers are
+# host-independent. Recorded under distinct .../cpu1 names (with -cpu 1
+# the go tool appends no -N suffix to strip).
+go test -run '^$' \
+    -bench 'BenchmarkTopoChainClockPooled|BenchmarkPooledExecPhase/workers8' \
+    -benchmem -benchtime 1s -cpu 1 . \
+    | sed 's|^\(Benchmark[^ 	]*\)|\1/cpu1|' | tee -a "$raw"
+
+awk -v date="$date" -v gomaxprocs="$gomaxprocs" -v numcpu="$numcpu" '
   /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
     ns = ""; bytes = ""; allocs = ""
@@ -48,7 +67,7 @@ awk -v date="$date" '
     lines[n++] = line
   }
   END {
-    printf "{\n  \"date\": \"%s\",\n  \"benchmarks\": [\n", date
+    printf "{\n  \"date\": \"%s\",\n  \"gomaxprocs\": %d,\n  \"numcpu\": %d,\n  \"benchmarks\": [\n", date, gomaxprocs, numcpu
     for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "")
     printf "  ]\n}\n"
   }
@@ -57,6 +76,14 @@ awk -v date="$date" '
 echo "wrote $out"
 
 if [ -n "$prev" ] && [ -f "$prev" ]; then
+    # Like-with-like check: warn when the prior record ran under a
+    # different core budget (older records carry no gomaxprocs field and
+    # count as unknown).
+    prev_procs="$(sed -n 's/.*"gomaxprocs": \([0-9][0-9]*\).*/\1/p' "$prev" | head -1)"
+    if [ "${prev_procs:-unknown}" != "$gomaxprocs" ]; then
+        echo "NOTE: $prev ran with GOMAXPROCS=${prev_procs:-unknown}, this run with $gomaxprocs;"
+        echo "      pooled-engine comparisons are not like-with-like (the .../cpu1 rows are)."
+    fi
     echo "diff vs $prev (ns/op):"
     awk -v prevfile="$prev" '
       {

@@ -1,16 +1,19 @@
 #!/usr/bin/env sh
 # CI gate: build, vet, full test suite, then the race detector over the
-# packages with concurrent hot paths (the parallel clock, the sharded
-# store, the atomic metrics registry, the fault injector feeding the
-# parallel sweep, and the sim-layer composition of all of them), and
-# finally a
-# 1-iteration benchmark smoke so every benchmark at least compiles and
-# executes (~5s; it measures nothing).
+# packages with concurrent hot paths (the parallel clock and its striped
+# barrier pool, the event-driven scheduler in the topology layer, the
+# sharded store, the atomic metrics registry, the fault injector feeding
+# the parallel sweep, and the sim-layer composition of all of them), the
+# engine-equivalence suites under -race, the zero-alloc smoke pinning
+# the topo clock's allocation-free forwarding, and finally a 1-iteration
+# benchmark smoke so every benchmark at least compiles and executes
+# (~5s; it measures nothing).
 set -eux
 
 go build ./...
 go vet ./...
 go test ./...
 go test -race ./internal/device ./internal/fault ./internal/mem ./internal/metrics ./internal/sim ./internal/topo
-go test -race -run 'TestParallelClock|TestClockModeEquivalence|TestSerialPooledWorkloadEquivalence' .
+go test -race -run 'TestParallelClock|TestClockModeEquivalence|TestSerialPooledWorkloadEquivalence|TestEventClock' .
+go test -run 'TestTopoChainZeroAlloc' -count=1 .
 go test -run '^$' -bench . -benchtime 1x ./...
