@@ -8,7 +8,7 @@
 //	hmc-bench                 # report to stdout
 //	hmc-bench -out report.md  # report to a file
 //	hmc-bench -hi 50          # restrict the mutex sweep
-//	hmc-bench -workers 1      # serial mutex sweep (default: all cores)
+//	hmc-bench -workers 1      # serial mutex sweep (default: GOMAXPROCS)
 //	hmc-bench -cpuprofile cpu.pprof -memprofile mem.pprof
 //	                          # capture pprof profiles of the full run
 //	hmc-bench -listen :8080   # live introspection endpoint while the
@@ -35,7 +35,7 @@ func main() {
 	out := flag.String("out", "", "write the report to this file (default stdout)")
 	lo := flag.Int("lo", 2, "mutex sweep: lowest thread count")
 	hi := flag.Int("hi", 100, "mutex sweep: highest thread count")
-	workers := flag.Int("workers", 0, "mutex sweep worker pool size (0 = one per host core, 1 = serial)")
+	workers := flag.Int("workers", 0, "mutex sweep worker pool size (0 = one per schedulable core, i.e. GOMAXPROCS; 1 = serial; each worker reuses one simulator session across its points)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	listen := flag.String("listen", "", "serve the live introspection endpoint on this address (e.g. :8080)")

@@ -10,7 +10,7 @@
 //	hmc-mutex -table           # Table VI only
 //	hmc-mutex -lo 2 -hi 50     # restrict the thread sweep
 //	hmc-mutex -csv out.csv     # machine-readable sweep dump
-//	hmc-mutex -workers 0       # sweep across all host cores (default)
+//	hmc-mutex -workers 0       # sweep across all schedulable cores (default)
 //	hmc-mutex -workers 1       # serial sweep
 //	hmc-mutex -exec-workers 8  # pooled vault execution inside each run
 //
@@ -39,7 +39,7 @@ func main() {
 	figure := flag.Int("figure", 0, "print only one figure series (5, 6 or 7)")
 	tableOnly := flag.Bool("table", false, "print only Table VI")
 	csvPath := flag.String("csv", "", "write the full sweep to a CSV file")
-	workers := flag.Int("workers", 0, "sweep worker pool size (0 = one per host core, 1 = serial)")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0 = one per schedulable core, i.e. GOMAXPROCS; 1 = serial; each worker reuses one simulator session across its points)")
 	listen := flag.String("listen", "", "serve the live introspection endpoint on this address (e.g. :8080)")
 	samplePath := flag.String("sample", "", "write a cycle-indexed metrics time series (JSONL) from one instrumented run per config")
 	sampleEvery := flag.Uint64("sample-every", 64, "time-series sampling period in device cycles")

@@ -111,6 +111,10 @@ type (
 	ReplayResult = workload.ReplayResult
 	// PipelinedAgent is a host thread with multiple outstanding requests.
 	PipelinedAgent = workload.PipelinedAgent
+	// Session is a reusable simulator binding: one simulator serving many
+	// workload runs, Reset in place between them. The sweep runners keep
+	// one per worker; NewSession exposes the same reuse to custom drivers.
+	Session = workload.Session
 )
 
 // Device configuration presets and constructors.
@@ -238,8 +242,10 @@ var (
 	RunMutex   = workload.RunMutex
 	MutexSweep = workload.MutexSweep
 	// MutexSweepParallel spreads the sweep's independent simulations
-	// across a bounded worker pool (workers <= 0 means one per host
-	// core) with results identical to — and ordered like — MutexSweep.
+	// across a bounded worker pool (workers <= 0 means one per
+	// schedulable core, GOMAXPROCS), each worker reusing one simulator
+	// session across its points, with results identical to — and
+	// ordered like — MutexSweep.
 	MutexSweepParallel = workload.MutexSweepParallel
 	// MutexSweepWithProgress additionally invokes a (thread-safe)
 	// callback per finished sweep point — the hook behind hmc-mutex's
@@ -264,6 +270,13 @@ var (
 	// sweeps achieved bandwidth against pipeline depth.
 	RunPipelined      = workload.RunPipelined
 	RunBandwidthProbe = workload.RunBandwidthProbe
+	// NewSession builds a reusable simulator session: every driver has a
+	// Session method form (Mutex, GUPS, Stream, ...) that Resets the one
+	// simulator in place instead of rebuilding it per run. Reusable
+	// reports whether an option set is eligible (construction-bound
+	// options — tracing, power, metrics — are not).
+	NewSession = workload.NewSession
+	Reusable   = sim.Reusable
 	// TableII computes the paper's AMO-efficiency comparison.
 	TableII = cachemodel.TableII
 )

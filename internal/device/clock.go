@@ -361,6 +361,9 @@ func (d *Device) executePhase() {
 func (d *Device) execParallel() {
 	if d.pool == nil || d.pool.Size() != d.Workers {
 		d.pool.Close()
+		// Workers access the store concurrently; restore shard locking
+		// before the first one starts (construction elides it).
+		d.store.SetSerial(false)
 		d.pool = NewPool(d.Workers)
 		// Bind the worker method once: passing a fresh closure to Run
 		// would allocate every cycle.

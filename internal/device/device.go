@@ -331,6 +331,10 @@ func New(id int, cfg config.Config, tracer trace.Tracer) (*Device, error) {
 		cmcTab: cmc.NewTable(),
 		tracer: tracer,
 	}
+	// Only execute-phase pool workers ever touch the store from more
+	// than one goroutine; run lock-free until that pool actually starts
+	// (execParallel restores locking first).
+	d.store.SetSerial(true)
 	d.amoU = amo.New(d.store)
 	// Carve every queue ring buffer of the device — two per link, two
 	// per crossbar port, two per vault — from one flat backing array,

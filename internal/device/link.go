@@ -102,6 +102,25 @@ func (l *Link) init(id, depth int, carve func(int) []*Flight) {
 	l.rsp.InitWithBuf(carve(depth))
 }
 
+// reset rewinds one direction's retry-protocol state to power-on. The
+// injector pointer survives (Device.Reset reseeds it in place when a
+// plan is installed); everything else — traversal counter, park window,
+// SEQ/FRP ring, stamp marker — returns to zero.
+func (ld *linkDir) reset() {
+	inj := ld.inj
+	*ld = linkDir{inj: inj}
+}
+
+// reset rewinds the link to power-on: both directions' retry state, the
+// down window and the retry counter. The queue ring buffers and the
+// wire-API scratches are reusable capacity, not state, and survive.
+func (l *Link) reset() {
+	l.rqstDir.reset()
+	l.rspDir.reset()
+	l.downUntil = 0
+	l.Retries = 0
+}
+
 // RqstStats returns the request queue statistics.
 func (l *Link) RqstStats() queue.Stats { return l.rqst.Stats() }
 

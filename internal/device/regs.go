@@ -87,12 +87,26 @@ type RegFile struct {
 
 func newRegFile(cfg config.Config) *RegFile {
 	rf := &RegFile{}
+	rf.seed(cfg)
+	return rf
+}
+
+// seed writes the configuration-derived reset values. Callers hold the
+// mutex when the register file is already shared.
+func (rf *RegFile) seed(cfg config.Config) {
 	rf.vals[RegFEAT] = uint64(cfg.CapacityGB)<<featCapShift |
 		uint64(cfg.Vaults)<<featVaultShift |
 		uint64(cfg.BanksPerVault)<<featBankShift |
 		uint64(cfg.Links)<<featLinkShift
 	rf.vals[RegRVID] = RVIDValue
-	return rf
+}
+
+// reset restores every register to its power-on value for cfg.
+func (rf *RegFile) reset(cfg config.Config) {
+	rf.mu.Lock()
+	rf.vals = [numRegs]uint64{}
+	rf.seed(cfg)
+	rf.mu.Unlock()
 }
 
 // Read returns the value of a register.

@@ -1,8 +1,6 @@
 package device
 
 import (
-	"errors"
-
 	"repro/internal/addr"
 	"repro/internal/cmc"
 	"repro/internal/config"
@@ -317,12 +315,13 @@ func (d *Device) executeCMC(v *Vault, f *Flight, loc addr.Location, locErr error
 	if rsp != nil {
 		ctx.RspPayload = rsp.Payload
 	}
-	slot2, err := d.cmcTab.Execute(r.Cmd.Code(), ctx)
-	if err != nil {
+	// Dispatch fast path: the slot lookup above already resolved the
+	// operation, and GetRsp pre-sized RspPayload to exactly what the
+	// descriptor demands, so Table.Execute's re-lookup and payload
+	// re-size check are dead weight on every CMC round trip — call the
+	// registered execute entry point directly.
+	if err := slot.Op.Execute(ctx); err != nil {
 		packet.PutRsp(rsp)
-		if errors.Is(err, cmc.ErrInactive) {
-			return d.errorRsp(f, ErrstatInactiveCMC, st)
-		}
 		d.regs.PostError(ErrBitCMCFault)
 		return d.errorRsp(f, ErrstatCMCFault, st)
 	}
@@ -330,7 +329,7 @@ func (d *Device) executeCMC(v *Vault, f *Flight, loc addr.Location, locErr error
 		d.tracer.Emit(trace.Event{
 			Cycle: d.cycle, Kind: trace.LevelCMC,
 			Dev: d.ID, Quad: v.Quad, Vault: v.ID, Bank: loc.Bank,
-			Cmd: slot2.Op.Str(), Tag: r.TAG, Addr: r.ADRS,
+			Cmd: slot.Op.Str(), Tag: r.TAG, Addr: r.ADRS,
 		})
 	}
 	if rsp == nil {

@@ -215,6 +215,17 @@ type Injector struct {
 // seed so streams are statistically independent.
 func (p Plan) Injector(stream uint64) *Injector {
 	in := &Injector{}
+	in.Reset(p, stream)
+	return in
+}
+
+// Reset rewinds an injector to the start of the stream it would have as
+// p.Injector(stream) — same derived state, zeroed fault counts. Reused
+// simulators reseed their existing injectors in place with the original
+// stream keys, so a Reset run observes the byte-identical fault sequence
+// a freshly constructed one would.
+func (in *Injector) Reset(p Plan, stream uint64) {
+	*in = Injector{}
 	// Two rounds of the output function decorrelate seed and stream even
 	// when both are small integers.
 	s := p.Seed
@@ -233,7 +244,6 @@ func (p Plan) Injector(stream uint64) *Injector {
 			in.nkinds++
 		}
 	}
-	return in
 }
 
 // Next draws the fault decision for the next packet: zero for a clean

@@ -56,10 +56,40 @@ var (
 type shard struct {
 	mu    sync.RWMutex
 	pages map[uint64]*[PageBytes]byte
+	// noLock elides the mutex entirely (SetSerial): even uncontended,
+	// RWMutex lock/unlock pairs are four atomic RMW operations, a
+	// measurable slice of a 16-byte block access on the serial clock
+	// path.
+	noLock bool
+}
+
+func (sh *shard) rlock() {
+	if !sh.noLock {
+		sh.mu.RLock()
+	}
+}
+
+func (sh *shard) runlock() {
+	if !sh.noLock {
+		sh.mu.RUnlock()
+	}
+}
+
+func (sh *shard) lock() {
+	if !sh.noLock {
+		sh.mu.Lock()
+	}
+}
+
+func (sh *shard) unlock() {
+	if !sh.noLock {
+		sh.mu.Unlock()
+	}
 }
 
 // Store is a sparse, lazily allocated memory of fixed capacity. All
-// methods are safe for concurrent use.
+// methods are safe for concurrent use unless SetSerial has elided
+// locking.
 type Store struct {
 	shards []shard
 	// granuleBits is the log2 interleave granularity; addresses within
@@ -102,6 +132,20 @@ func NewSharded(capacity uint64, granuleBits, shardBits int) *Store {
 // Capacity returns the configured capacity in bytes.
 func (s *Store) Capacity() uint64 { return s.capacity }
 
+// SetSerial(true) elides all shard locking, making the store safe only
+// for single-goroutine use; SetSerial(false) restores it. Stores are
+// built locked. The device enables serial mode at construction (its
+// clock, host interface and workload drivers all run on one goroutine)
+// and re-enables locking before its execute-phase worker pool first
+// starts — the only code that touches a device's store concurrently.
+// Callers must not flip the mode while any other goroutine is accessing
+// the store.
+func (s *Store) SetSerial(on bool) {
+	for i := range s.shards {
+		s.shards[i].noLock = on
+	}
+}
+
 // Shards returns the number of independent page-table shards.
 func (s *Store) Shards() int { return len(s.shards) }
 
@@ -111,9 +155,9 @@ func (s *Store) AllocatedBytes() uint64 {
 	var n uint64
 	for i := range s.shards {
 		sh := &s.shards[i]
-		sh.mu.RLock()
+		sh.rlock()
 		n += uint64(len(sh.pages)) * PageBytes
-		sh.mu.RUnlock()
+		sh.runlock()
 	}
 	return n
 }
@@ -151,7 +195,7 @@ func (s *Store) granuleSpan(addr uint64, n int) int {
 
 // read copies n bytes at local into p under the shard read lock.
 func (sh *shard) read(local uint64, p []byte) {
-	sh.mu.RLock()
+	sh.rlock()
 	for done := 0; done < len(p); {
 		pageIdx := (local + uint64(done)) / PageBytes
 		off := int((local + uint64(done)) % PageBytes)
@@ -163,12 +207,12 @@ func (sh *shard) read(local uint64, p []byte) {
 		}
 		done += n
 	}
-	sh.mu.RUnlock()
+	sh.runlock()
 }
 
 // write copies p into the shard at local, materializing pages as needed.
 func (sh *shard) write(local uint64, p []byte) {
-	sh.mu.Lock()
+	sh.lock()
 	for done := 0; done < len(p); {
 		pageIdx := (local + uint64(done)) / PageBytes
 		off := int((local + uint64(done)) % PageBytes)
@@ -184,7 +228,7 @@ func (sh *shard) write(local uint64, p []byte) {
 		copy(page[off:off+n], p[done:done+n])
 		done += n
 	}
-	sh.mu.Unlock()
+	sh.unlock()
 }
 
 // page returns the materialized page containing local, or nil. Callers
@@ -254,7 +298,7 @@ func (s *Store) ReadWords(addr uint64, dst []uint64) error {
 	}
 	sh, local := s.locate(addr)
 	if s.granuleSpan(addr, n) == n && int(local%PageBytes)+n <= PageBytes {
-		sh.mu.RLock()
+		sh.rlock()
 		if page := sh.page(local); page != nil {
 			off := int(local % PageBytes)
 			for i := range dst {
@@ -263,7 +307,7 @@ func (s *Store) ReadWords(addr uint64, dst []uint64) error {
 		} else {
 			clear(dst)
 		}
-		sh.mu.RUnlock()
+		sh.runlock()
 		return nil
 	}
 	// Cross-granule span (host-side use only): fall back to the general
@@ -294,7 +338,7 @@ func (s *Store) WriteWords(addr uint64, src []uint64, n int) error {
 	words := n / 8
 	sh, local := s.locate(addr)
 	if s.granuleSpan(addr, n) == n && int(local%PageBytes)+n <= PageBytes {
-		sh.mu.Lock()
+		sh.lock()
 		page := sh.ensurePage(local)
 		off := int(local % PageBytes)
 		for i := 0; i < words; i++ {
@@ -304,7 +348,7 @@ func (s *Store) WriteWords(addr uint64, src []uint64, n int) error {
 			}
 			binary.LittleEndian.PutUint64(page[off+8*i:], v)
 		}
-		sh.mu.Unlock()
+		sh.unlock()
 		return nil
 	}
 	var b [8]byte
@@ -328,12 +372,12 @@ func (s *Store) ReadUint64(addr uint64) (uint64, error) {
 	}
 	sh, local := s.locate(addr)
 	if off := int(local % PageBytes); s.granuleSpan(addr, 8) == 8 && off+8 <= PageBytes {
-		sh.mu.RLock()
+		sh.rlock()
 		var v uint64
 		if page := sh.page(local); page != nil {
 			v = binary.LittleEndian.Uint64(page[off:])
 		}
-		sh.mu.RUnlock()
+		sh.runlock()
 		return v, nil
 	}
 	var b [8]byte
@@ -350,9 +394,9 @@ func (s *Store) WriteUint64(addr, v uint64) error {
 	}
 	sh, local := s.locate(addr)
 	if off := int(local % PageBytes); s.granuleSpan(addr, 8) == 8 && off+8 <= PageBytes {
-		sh.mu.Lock()
+		sh.lock()
 		binary.LittleEndian.PutUint64(sh.ensurePage(local)[off:], v)
-		sh.mu.Unlock()
+		sh.unlock()
 		return nil
 	}
 	var b [8]byte
@@ -378,13 +422,13 @@ func (s *Store) ReadBlock(addr uint64) (Block, error) {
 	}
 	sh, local := s.locate(addr)
 	off := int(local % PageBytes)
-	sh.mu.RLock()
+	sh.rlock()
 	var blk Block
 	if page := sh.page(local); page != nil {
 		blk.Lo = binary.LittleEndian.Uint64(page[off:])
 		blk.Hi = binary.LittleEndian.Uint64(page[off+8:])
 	}
-	sh.mu.RUnlock()
+	sh.runlock()
 	return blk, nil
 }
 
@@ -399,20 +443,39 @@ func (s *Store) WriteBlock(addr uint64, blk Block) error {
 	}
 	sh, local := s.locate(addr)
 	off := int(local % PageBytes)
-	sh.mu.Lock()
+	sh.lock()
 	page := sh.ensurePage(local)
 	binary.LittleEndian.PutUint64(page[off:], blk.Lo)
 	binary.LittleEndian.PutUint64(page[off+8:], blk.Hi)
-	sh.mu.Unlock()
+	sh.unlock()
 	return nil
 }
 
-// Reset drops all materialized pages, returning the store to all-zeros.
+// Reset drops all materialized pages, returning the store to all-zeros
+// and releasing their memory. Use Zero to return to all-zeros while
+// keeping the pages materialized (the simulator-reuse fast path).
 func (s *Store) Reset() {
 	for i := range s.shards {
 		sh := &s.shards[i]
-		sh.mu.Lock()
+		sh.lock()
 		sh.pages = nil
-		sh.mu.Unlock()
+		sh.unlock()
+	}
+}
+
+// Zero returns the store to all-zeros without dropping materialized
+// pages: each page is block-cleared in place, so a reused simulator's
+// next run rewrites warm pages instead of re-materializing them (page
+// and page-table allocations are the bulk of a run's store cost). Reads
+// cannot distinguish a zeroed page from an unmaterialized one, so Zero
+// and Reset are observationally identical.
+func (s *Store) Zero() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.lock()
+		for _, page := range sh.pages {
+			clear(page[:])
+		}
+		sh.unlock()
 	}
 }

@@ -144,6 +144,52 @@ func TestReset(t *testing.T) {
 	}
 }
 
+// TestZeroKeepsPages pins the simulator-reuse fast path: Zero returns
+// the store to all-zeros (observationally identical to Reset) while
+// keeping every materialized page allocated for the next run.
+func TestZeroKeepsPages(t *testing.T) {
+	s := NewSharded(1<<20, 5, 3)
+	for addr := uint64(0); addr < 8*PageBytes; addr += 512 {
+		if err := s.WriteUint64(addr, addr|1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocated := s.AllocatedBytes()
+	if allocated == 0 {
+		t.Fatal("writes materialized no pages")
+	}
+	s.Zero()
+	if got := s.AllocatedBytes(); got != allocated {
+		t.Errorf("Zero changed allocation: %d -> %d bytes", allocated, got)
+	}
+	for addr := uint64(0); addr < 8*PageBytes; addr += 512 {
+		if v, err := s.ReadUint64(addr); err != nil || v != 0 {
+			t.Fatalf("after Zero: addr %#x reads %d, %v", addr, v, err)
+		}
+	}
+}
+
+// TestSetSerial checks that the lock-elided mode is functionally
+// identical to the locked default, and that locking can be restored.
+// (shard_test.go proves the locked mode race-free under -race; serial
+// mode is single-goroutine by contract.)
+func TestSetSerial(t *testing.T) {
+	s := NewSharded(1<<20, 5, 3)
+	s.SetSerial(true)
+	for addr := uint64(0); addr < 4096; addr += 16 {
+		if err := s.WriteBlock(addr, Block{Lo: addr, Hi: ^addr}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.SetSerial(false)
+	for addr := uint64(0); addr < 4096; addr += 16 {
+		blk, err := s.ReadBlock(addr)
+		if err != nil || blk != (Block{Lo: addr, Hi: ^addr}) {
+			t.Fatalf("addr %#x: %+v, %v", addr, blk, err)
+		}
+	}
+}
+
 func TestSparseAllocation(t *testing.T) {
 	s := New(8 << 30) // 8 GB device
 	if err := s.WriteUint64(7<<30, 1); err != nil {

@@ -105,7 +105,14 @@ func (q *Queue[T]) Push(v T) error {
 		q.stats.Stalls++
 		return ErrFull
 	}
-	q.buf[(q.head+q.count)%len(q.buf)] = v
+	// head < len and count <= len, so one compare-subtract wraps the
+	// insertion index — cheaper than the general modulo's division on
+	// this every-cycle path.
+	i := q.head + q.count
+	if i >= len(q.buf) {
+		i -= len(q.buf)
+	}
+	q.buf[i] = v
 	q.count++
 	q.stats.Pushes++
 	if q.count > q.stats.MaxOccupancy {
@@ -123,7 +130,10 @@ func (q *Queue[T]) Pop() (v T, ok bool) {
 	v = q.buf[q.head]
 	var zero T
 	q.buf[q.head] = zero
-	q.head = (q.head + 1) % len(q.buf)
+	q.head++
+	if q.head == len(q.buf) {
+		q.head = 0
+	}
 	q.count--
 	q.stats.Pops++
 	return v, true
@@ -172,9 +182,20 @@ func (q *Queue[T]) Stats() Stats {
 	return s
 }
 
-// Reset empties the queue and clears its statistics.
+// Reset empties the queue and clears its statistics. Only the occupied
+// slots are zeroed: Pop zeroes each slot it vacates, so everything
+// outside [head, head+count) is zero already — for a pointer-element
+// queue that turns Reset from a write-barrier walk over the whole ring
+// into O(Len). (A ring handed to InitWithBuf dirty would break this
+// invariant; device construction always carves from fresh memory.)
 func (q *Queue[T]) Reset() {
-	clear(q.buf)
+	var zero T
+	for i, j := 0, q.head; i < q.count; i++ {
+		q.buf[j] = zero
+		if j++; j == len(q.buf) {
+			j = 0
+		}
+	}
 	q.head = 0
 	q.count = 0
 	q.stats = Stats{}

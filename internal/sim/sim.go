@@ -289,6 +289,43 @@ func (s *Simulator) ClockUntilRecv(budget uint64) uint64 {
 	return adv
 }
 
+// Reset rewinds the simulation to its as-constructed state without
+// reallocating any of it: the topology, every device's queues, retry
+// rings, banks, registers, statistics, fault-injector streams and the
+// backing store all return to cycle zero in place (topo.Reset,
+// device.Reset). CMC registrations survive — the shipped operations are
+// stateless, so a reused simulator with its table already loaded is
+// bit-identical, in every statistic and packet, to a fresh one that
+// just called LoadCMC (the reset bit-identity suite pins this).
+//
+// Reset is the sweep fast path: constructing a simulator costs dozens
+// of allocations and megabytes of queue backing; Resetting one costs
+// none. It is intended for simulators that satisfy Reusable — per-run
+// state bound at construction (tracer buffers, power models, metrics
+// registries, samplers, observers) is NOT rewound and would accumulate
+// across runs.
+func (s *Simulator) Reset() {
+	s.cycle = 0
+	s.topo.Reset()
+}
+
+// Reusable reports whether a simulator built with these options can be
+// recycled with Reset between runs without observable state carrying
+// over. Fault plans, parallel clocking, event-mode selection and
+// multi-device topologies are all reset-safe; tracers, power models,
+// metrics registries, samplers and observers bind per-construction
+// state (or fire construction-time callbacks) and are not. The pooled
+// sweep runners consult this to decide between session reuse and
+// fresh-per-point construction.
+func Reusable(opts ...Option) bool {
+	o := options{}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o.tracer == nil && o.powerParams == nil && o.powerModel == nil &&
+		o.observer == nil && o.metricsReg == nil && o.sampler == nil
+}
+
 // Close releases the parallel cycle engine's worker pools — every
 // device's execute pool and the topology's stepping pool. Simulations
 // that never enabled WithParallelClock have nothing to release. The

@@ -523,3 +523,32 @@ func (t *Topology) ClockUntilRecv(budget uint64) uint64 {
 
 // Cycle returns the topology clock.
 func (t *Topology) Cycle() uint64 { return t.cycle }
+
+// Reset rewinds the topology and every device to the as-constructed
+// state without reallocating: in-transit forwarded packets recycle into
+// their free lists, the hop-delay queues rewind onto their backing
+// arrays, the forwarding counters and the topology clock zero, and each
+// device resets in place (device.Reset). The stepping pool, the
+// calendar (refilled from scratch every cycle) and the clone free list
+// are reusable capacity and survive. After Reset the topology is
+// bit-identical, in every statistic and packet, to a freshly built one.
+func (t *Topology) Reset() {
+	for _, p := range t.pendingRqst {
+		t.putRqst(p.rqst)
+	}
+	t.pendingRqst = t.pendingRqst[:0]
+	for link := range t.pendingRsp {
+		q := t.pendingRsp[link]
+		for i := t.rspHead[link]; i < len(q); i++ {
+			packet.PutRsp(q[i].rsp)
+			q[i].rsp = nil
+		}
+		t.pendingRsp[link] = q[:0]
+		t.rspHead[link] = 0
+	}
+	t.ForwardedRqsts, t.ForwardedRsps = 0, 0
+	t.cycle = 0
+	for _, d := range t.devs {
+		d.Reset()
+	}
+}

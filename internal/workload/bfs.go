@@ -246,15 +246,25 @@ type BFSResult struct {
 // RunBFS traverses a random connected graph from vertex 0 and verifies
 // that every vertex was visited exactly once.
 func RunBFS(cfg config.Config, mode BFSMode, threads, vertices, degree int, seed int64, opts ...sim.Option) (BFSResult, error) {
-	s, err := sim.New(cfg, opts...)
+	ss, err := NewSession(cfg, opts...)
 	if err != nil {
 		return BFSResult{}, err
 	}
-	defer s.Close()
+	defer ss.Close()
+	return ss.BFS(mode, threads, vertices, degree, seed)
+}
+
+// BFS is the Session form of RunBFS. The hmc_visit operation loads on
+// the first CMC-mode traversal and stays resident; baseline traversals
+// on a session that ran CMC mode earlier still never touch it.
+func (ss *Session) BFS(mode BFSMode, threads, vertices, degree int, seed int64) (BFSResult, error) {
+	var cmcNames []string
 	if mode == BFSCMC {
-		if err := s.LoadCMC("hmc_visit"); err != nil {
-			return BFSResult{}, err
-		}
+		cmcNames = []string{"hmc_visit"}
+	}
+	s, err := ss.begin(cmcNames...)
+	if err != nil {
+		return BFSResult{}, err
 	}
 	graph := NewRandomGraph(vertices, degree, seed)
 	work := &bfsWork{graph: graph, visitedBase: 0}
@@ -269,13 +279,14 @@ func RunBFS(cfg config.Config, mode BFSMode, threads, vertices, degree int, seed
 	}
 	work.next = append(work.next, 0)
 
-	agents := make([]Agent, threads)
-	workers := make([]BFSAgent, threads)
+	agents := ss.agentSlice(threads)
+	ss.bfss = grow(ss.bfss, threads)
+	workers := ss.bfss
 	for i := range workers {
 		workers[i] = BFSAgent{Mode: mode, work: work}
 		agents[i] = &workers[i]
 	}
-	res, err := Run(s, agents, 100_000_000)
+	res, err := ss.run(agents, 100_000_000)
 	if err != nil {
 		return BFSResult{}, err
 	}

@@ -165,13 +165,23 @@ type GUPSResult struct {
 // contents are verified against a host-side replay (XOR updates commute,
 // so the result is schedule independent).
 func RunGUPS(cfg config.Config, mode GUPSMode, threads int, tableBlocks, updates uint64, opts ...sim.Option) (GUPSResult, error) {
-	s, err := sim.New(cfg, opts...)
+	ss, err := NewSession(cfg, opts...)
 	if err != nil {
 		return GUPSResult{}, err
 	}
-	defer s.Close()
-	agents := make([]Agent, threads)
-	gups := make([]GUPSAgent, threads)
+	defer ss.Close()
+	return ss.GUPS(mode, threads, tableBlocks, updates)
+}
+
+// GUPS is the Session form of RunGUPS.
+func (ss *Session) GUPS(mode GUPSMode, threads int, tableBlocks, updates uint64) (GUPSResult, error) {
+	s, err := ss.begin()
+	if err != nil {
+		return GUPSResult{}, err
+	}
+	agents := ss.agentSlice(threads)
+	ss.gups = grow(ss.gups, threads)
+	gups := ss.gups
 	per := updates / uint64(threads)
 	for i := range gups {
 		gups[i] = GUPSAgent{
@@ -180,7 +190,7 @@ func RunGUPS(cfg config.Config, mode GUPSMode, threads int, tableBlocks, updates
 		}
 		agents[i] = &gups[i]
 	}
-	res, err := Run(s, agents, 100_000_000)
+	res, err := ss.run(agents, 100_000_000)
 	if err != nil {
 		return GUPSResult{}, err
 	}

@@ -143,25 +143,32 @@ type MutexSweepResult struct {
 // lockAddr (the paper's deliberate hot spot, §V-B). Options (tracing,
 // power) pass through to the simulator.
 func RunMutex(cfg config.Config, threads int, lockAddr uint64, opts ...sim.Option) (MutexRun, error) {
-	s, err := sim.New(cfg, opts...)
+	ss, err := NewSession(cfg, opts...)
 	if err != nil {
 		return MutexRun{}, err
 	}
-	defer s.Close()
-	for _, name := range []string{"hmc_lock", "hmc_trylock", "hmc_unlock"} {
-		if err := s.LoadCMC(name); err != nil {
-			return MutexRun{}, err
-		}
+	defer ss.Close()
+	return ss.Mutex(threads, lockAddr)
+}
+
+// Mutex is the Session form of RunMutex: the same workload against this
+// session's simulator, Reset in place instead of rebuilt.
+func (ss *Session) Mutex(threads int, lockAddr uint64) (MutexRun, error) {
+	s, err := ss.begin("hmc_lock", "hmc_trylock", "hmc_unlock")
+	if err != nil {
+		return MutexRun{}, err
 	}
-	// One backing array for all agents: a sweep constructs thousands of
-	// these, so per-agent heap objects add up.
-	agents := make([]Agent, threads)
-	muts := make([]MutexAgent, threads)
+	// One backing array for all agents, reused across session runs: a
+	// sweep constructs thousands of these, so per-agent heap objects add
+	// up.
+	agents := ss.agentSlice(threads)
+	ss.muts = grow(ss.muts, threads)
+	muts := ss.muts
 	for i := range muts {
 		muts[i] = MutexAgent{TID: uint64(i) + 1, Addr: lockAddr} // TID 0 means "free"
 		agents[i] = &muts[i]
 	}
-	res, err := Run(s, agents, 1_000_000)
+	res, err := ss.run(agents, 1_000_000)
 	if err != nil {
 		return MutexRun{}, err
 	}

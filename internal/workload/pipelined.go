@@ -249,11 +249,22 @@ type BandwidthProbeResult struct {
 // pipeline width and reports achieved bandwidth — the saturation curve
 // the paper's bandwidth-bound motivation rests on.
 func RunBandwidthProbe(cfg config.Config, threads, width int, blocksPerThread uint64, opts ...sim.Option) (BandwidthProbeResult, error) {
-	s, err := sim.New(cfg, opts...)
+	ss, err := NewSession(cfg, opts...)
 	if err != nil {
 		return BandwidthProbeResult{}, err
 	}
-	defer s.Close()
+	defer ss.Close()
+	return ss.BandwidthProbe(threads, width, blocksPerThread)
+}
+
+// BandwidthProbe is the Session form of RunBandwidthProbe. The
+// pipelined engine allocates its own tag tables per run; only simulator
+// construction is pooled here.
+func (ss *Session) BandwidthProbe(threads, width int, blocksPerThread uint64) (BandwidthProbeResult, error) {
+	s, err := ss.begin()
+	if err != nil {
+		return BandwidthProbeResult{}, err
+	}
 	agents := make([]PipelinedAgent, threads)
 	for i := range agents {
 		agents[i] = &PipelinedReader{

@@ -238,15 +238,25 @@ type ReplayResult struct {
 // RunReplay splits a trace round-robin across threads agents and replays
 // it against a fresh simulation of cfg.
 func RunReplay(cfg config.Config, threads int, ops []ReplayOp, opts ...sim.Option) (ReplayResult, error) {
-	if threads < 1 {
-		return ReplayResult{}, fmt.Errorf("workload: need at least one thread")
-	}
-	s, err := sim.New(cfg, opts...)
+	ss, err := NewSession(cfg, opts...)
 	if err != nil {
 		return ReplayResult{}, err
 	}
-	defer s.Close()
-	agents := make([]Agent, threads)
+	defer ss.Close()
+	return ss.Replay(threads, ops)
+}
+
+// Replay is the Session form of RunReplay. The per-agent op slices are
+// rebuilt each run (they are data, not scratch); the engine state reuses
+// session scratch.
+func (ss *Session) Replay(threads int, ops []ReplayOp) (ReplayResult, error) {
+	if threads < 1 {
+		return ReplayResult{}, fmt.Errorf("workload: need at least one thread")
+	}
+	if _, err := ss.begin(); err != nil {
+		return ReplayResult{}, err
+	}
+	agents := ss.agentSlice(threads)
 	replays := make([]*ReplayAgent, threads)
 	for i := range agents {
 		a := &ReplayAgent{}
@@ -256,7 +266,7 @@ func RunReplay(cfg config.Config, threads int, ops []ReplayOp, opts ...sim.Optio
 		replays[i] = a
 		agents[i] = a
 	}
-	res, err := Run(s, agents, 100_000_000)
+	res, err := ss.run(agents, 100_000_000)
 	if err != nil {
 		return ReplayResult{}, err
 	}

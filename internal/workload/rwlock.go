@@ -162,19 +162,24 @@ type RWResult struct {
 // RunRWLock drives readers+writers threads for rounds critical sections
 // each and verifies the writer-increment invariant.
 func RunRWLock(cfg config.Config, readers, writers, rounds int, opts ...sim.Option) (RWResult, error) {
-	s, err := sim.New(cfg, opts...)
+	ss, err := NewSession(cfg, opts...)
 	if err != nil {
 		return RWResult{}, err
 	}
-	defer s.Close()
-	for _, name := range []string{"hmc_rdlock", "hmc_rdunlock", "hmc_wrlock", "hmc_wrunlock"} {
-		if err := s.LoadCMC(name); err != nil {
-			return RWResult{}, err
-		}
+	defer ss.Close()
+	return ss.RWLock(readers, writers, rounds)
+}
+
+// RWLock is the Session form of RunRWLock.
+func (ss *Session) RWLock(readers, writers, rounds int) (RWResult, error) {
+	s, err := ss.begin("hmc_rdlock", "hmc_rdunlock", "hmc_wrlock", "hmc_wrunlock")
+	if err != nil {
+		return RWResult{}, err
 	}
 	const lockAddr, dataAddr = 0x40, 0x80
-	agents := make([]Agent, 0, readers+writers)
-	rws := make([]RWAgent, readers+writers)
+	agents := ss.agentSlice(readers + writers)
+	ss.rws = grow(ss.rws, readers+writers)
+	rws := ss.rws
 	for i := 0; i < readers; i++ {
 		rws[i] = RWAgent{Role: rwReader, TID: uint64(i) + 1, LockAddr: lockAddr, DataAddr: dataAddr, Rounds: rounds}
 	}
@@ -182,9 +187,9 @@ func RunRWLock(cfg config.Config, readers, writers, rounds int, opts ...sim.Opti
 		rws[readers+i] = RWAgent{Role: rwWriter, TID: uint64(readers+i) + 1, LockAddr: lockAddr, DataAddr: dataAddr, Rounds: rounds}
 	}
 	for i := range rws {
-		agents = append(agents, &rws[i])
+		agents[i] = &rws[i]
 	}
-	res, err := Run(s, agents, 10_000_000)
+	res, err := ss.run(agents, 10_000_000)
 	if err != nil {
 		return RWResult{}, err
 	}

@@ -128,13 +128,22 @@ type StreamResult struct {
 // RunStream executes the Triad with the given thread count over blocks
 // 64-byte blocks per array and verifies the result array in memory.
 func RunStream(cfg config.Config, threads int, blocks uint64, clockGHz float64, opts ...sim.Option) (StreamResult, error) {
-	s, err := sim.New(cfg, opts...)
+	ss, err := NewSession(cfg, opts...)
 	if err != nil {
 		return StreamResult{}, err
 	}
-	defer s.Close()
+	defer ss.Close()
+	return ss.Stream(threads, blocks, clockGHz)
+}
+
+// Stream is the Session form of RunStream.
+func (ss *Session) Stream(threads int, blocks uint64, clockGHz float64) (StreamResult, error) {
+	s, err := ss.begin()
+	if err != nil {
+		return StreamResult{}, err
+	}
 	const q = 3
-	capacity := cfg.CapacityBytes()
+	capacity := s.Config().CapacityBytes()
 	aBase := uint64(0)
 	bBase := capacity / 4
 	cBase := capacity / 2
@@ -155,8 +164,9 @@ func RunStream(cfg config.Config, threads int, blocks uint64, clockGHz float64, 
 		}
 	}
 
-	agents := make([]Agent, threads)
-	streams := make([]StreamAgent, threads)
+	agents := ss.agentSlice(threads)
+	ss.streams = grow(ss.streams, threads)
+	streams := ss.streams
 	per := blocks / uint64(threads)
 	extra := blocks % uint64(threads)
 	first := uint64(0)
@@ -172,7 +182,7 @@ func RunStream(cfg config.Config, threads int, blocks uint64, clockGHz float64, 
 		agents[i] = &streams[i]
 		first += cnt
 	}
-	res, err := Run(s, agents, 100_000_000)
+	res, err := ss.run(agents, 100_000_000)
 	if err != nil {
 		return StreamResult{}, err
 	}

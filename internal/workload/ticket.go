@@ -150,23 +150,28 @@ func Inversions(order, completion []uint64) int {
 // RunTicketMutex executes the ticket-lock workload with the given thread
 // count contending on one ticket block.
 func RunTicketMutex(cfg config.Config, threads int, addr uint64, opts ...sim.Option) (TicketRun, error) {
-	s, err := sim.New(cfg, opts...)
+	ss, err := NewSession(cfg, opts...)
 	if err != nil {
 		return TicketRun{}, err
 	}
-	defer s.Close()
-	for _, name := range []string{"hmc_ticket", "hmc_ticket_next"} {
-		if err := s.LoadCMC(name); err != nil {
-			return TicketRun{}, err
-		}
+	defer ss.Close()
+	return ss.TicketMutex(threads, addr)
+}
+
+// TicketMutex is the Session form of RunTicketMutex.
+func (ss *Session) TicketMutex(threads int, addr uint64) (TicketRun, error) {
+	s, err := ss.begin("hmc_ticket", "hmc_ticket_next")
+	if err != nil {
+		return TicketRun{}, err
 	}
-	agents := make([]Agent, threads)
-	ticks := make([]TicketAgent, threads)
+	agents := ss.agentSlice(threads)
+	ss.ticks = grow(ss.ticks, threads)
+	ticks := ss.ticks
 	for i := range ticks {
 		ticks[i] = TicketAgent{Addr: addr}
 		agents[i] = &ticks[i]
 	}
-	res, err := Run(s, agents, 10_000_000)
+	res, err := ss.run(agents, 10_000_000)
 	if err != nil {
 		return TicketRun{}, err
 	}

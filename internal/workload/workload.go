@@ -93,25 +93,33 @@ const (
 // Responses are returned to the packet pool after each Complete call:
 // agents must not retain the response or its payload past Complete.
 func Run(s *sim.Simulator, agents []Agent, maxCycles uint64) (Result, error) {
+	return runWith(s, agents, maxCycles, make([]agentState, len(agents)), make([]uint64, len(agents)))
+}
+
+// runWith is the engine body behind Run. state and completion carry the
+// per-agent bookkeeping and the result's completion-cycle slice; both
+// must be len(agents) long and zeroed. Run allocates them fresh;
+// Session.run passes pooled scratch so a reused session drives sweep
+// points without allocating.
+func runWith(s *sim.Simulator, agents []Agent, maxCycles uint64, state []agentState, completion []uint64) (Result, error) {
 	if len(agents) > packet.MaxTag {
 		return Result{}, fmt.Errorf("%w: %d agents", ErrTooManyAgents, len(agents))
 	}
-	res := Result{CompletionCycles: make([]uint64, len(agents))}
+	res := Result{CompletionCycles: completion}
 	links := s.Links()
 
 	// With metrics enabled, observe per-op and per-agent latencies into
 	// push histograms: registration happens once here, and each Observe on
 	// the driving path is a few atomic ops — the engine stays
 	// allocation-free either way (the serial-sweep benchmarks count).
-	var opLat, completion *metrics.Histogram
+	var opLat, complHist *metrics.Histogram
 	var sendStalls *metrics.Counter
 	if reg := s.Metrics(); reg != nil {
 		opLat = reg.Histogram(NameOpLatency)
-		completion = reg.Histogram(NameCompletion)
+		complHist = reg.Histogram(NameCompletion)
 		sendStalls = reg.Counter(NameSendStalls)
 	}
 
-	state := make([]agentState, len(agents))
 	remaining := 0
 	for i, a := range agents {
 		if a.Done() {
@@ -231,8 +239,8 @@ func Run(s *sim.Simulator, agents []Agent, maxCycles uint64) (Result, error) {
 
 	for _, c := range res.CompletionCycles {
 		res.Summary.Add(c)
-		if completion != nil {
-			completion.Observe(c)
+		if complHist != nil {
+			complHist.Observe(c)
 		}
 	}
 	res.Cycles = s.Cycle()

@@ -56,14 +56,21 @@ go test -run '^$' \
 awk -v date="$date" -v gomaxprocs="$gomaxprocs" -v numcpu="$numcpu" '
   /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
-    ns = ""; bytes = ""; allocs = ""
+    ns = ""; bytes = ""; allocs = ""; pts = ""; cyc = ""
     for (i = 2; i <= NF; i++) {
       if ($(i+1) == "ns/op") ns = $i
       if ($(i+1) == "B/op") bytes = $i
       if ($(i+1) == "allocs/op") allocs = $i
+      if ($(i+1) == "points/s") pts = $i
+      if ($(i+1) == "simcycles/s") cyc = $i
     }
-    line = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+    line = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s",
                    name, ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs)
+    # Sweep benchmarks report derived throughput (points retired and
+    # simulated device cycles per wall second); carry them through.
+    if (pts != "") line = line sprintf(", \"sweep_points_per_sec\": %s", pts)
+    if (cyc != "") line = line sprintf(", \"sim_cycles_per_sec\": %s", cyc)
+    line = line "}"
     lines[n++] = line
   }
   END {

@@ -13,7 +13,42 @@ set -eux
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/device ./internal/fault ./internal/mem ./internal/metrics ./internal/sim ./internal/topo
+go test -race ./internal/device ./internal/fault ./internal/mem ./internal/metrics ./internal/sim ./internal/topo ./internal/workload
 go test -race -run 'TestParallelClock|TestClockModeEquivalence|TestSerialPooledWorkloadEquivalence|TestEventClock' .
-go test -run 'TestTopoChainZeroAlloc' -count=1 .
+# Allocation-regression gate: every pin that asserts a hot path stays
+# allocation-free (the pins skip themselves under -race, so this is a
+# separate non-race invocation).
+go test -run 'ZeroAlloc' -count=1 . ./internal/metrics
 go test -run '^$' -bench . -benchtime 1x ./...
+
+# Speed-regression check: re-measure the key hot-path benchmarks and
+# diff ns/op against the most recent BENCH_*.json. Growth beyond 10%
+# prints a WARNING but does not fail the gate — CI hosts are noisy;
+# scripts/bench.sh records the authoritative trajectory.
+cd "$(dirname "$0")/.."
+baseline="$(ls -1t BENCH_*.json 2>/dev/null | head -1 || true)"
+if [ -n "$baseline" ]; then
+    go test -run '^$' \
+        -bench 'BenchmarkClockLoopCMC$|BenchmarkClockLoop$|BenchmarkCRC|BenchmarkMutexSweepSerial|BenchmarkTopoChainClockSerial' \
+        -benchtime 1s . |
+    awk -v basefile="$baseline" '
+      BEGIN {
+        while ((getline line < basefile) > 0) {
+          if (match(line, /"name": "[^"]+"/)) {
+            name = substr(line, RSTART + 9, RLENGTH - 10)
+            if (match(line, /"ns_per_op": [0-9.]+/))
+              base[name] = substr(line, RSTART + 13, RLENGTH - 13) + 0
+          }
+        }
+      }
+      /^Benchmark/ {
+        name = $1; sub(/-[0-9]+$/, "", name)
+        for (i = 2; i <= NF; i++) if ($(i+1) == "ns/op") ns = $i + 0
+        if (!(name in base) || base[name] <= 0) next
+        growth = (ns - base[name]) / base[name] * 100
+        tag = (growth > 10) ? "  <-- WARNING: >10% ns/op growth" : ""
+        printf "  %-32s %12.1f -> %-12.1f %+6.1f%%%s\n", name, base[name], ns, growth, tag
+      }'
+else
+    echo "no BENCH_*.json baseline; skipping speed-regression check"
+fi
