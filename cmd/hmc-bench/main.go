@@ -27,6 +27,7 @@ import (
 	hmcsim "repro"
 	"repro/cmcops"
 	"repro/internal/hmccmd"
+	"repro/internal/spanflag"
 )
 
 const lockAddr = 0x40
@@ -44,6 +45,7 @@ func main() {
 	faultKinds := flag.String("fault-kinds", "all", "comma-separated fault kinds: crc, flip, drop, down or all")
 	execWorkers := flag.Int("exec-workers", 1, "parallel cycle engine workers inside each simulation (1 = serial; -workers sizes the sweep pool, this sizes the per-run vault/device stepping pool)")
 	eventClock := flag.Bool("event-clock", true, "event-driven cycle scheduler: fast-forward provably idle spans (false = per-cycle reference engine)")
+	spanFlags := spanflag.Register()
 	flag.Parse()
 
 	var opts []hmcsim.Option
@@ -112,6 +114,22 @@ func main() {
 	}
 	if *out != "" {
 		fmt.Printf("wrote %s\n", *out)
+	}
+
+	// Span tracing rides one extra instrumented run per configuration
+	// (the report's sweeps build thousands of simulators, so the flight
+	// recorder attaches to a representative run instead).
+	if tr := spanFlags.Tracer(); tr != nil {
+		for _, cfg := range []hmcsim.Config{hmcsim.FourLink4GB(), hmcsim.EightLink8GB()} {
+			if _, err := hmcsim.RunMutex(cfg, *hi, lockAddr,
+				append([]hmcsim.Option{hmcsim.WithSpans(tr)}, opts...)...); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("span-traced mutex runs (threads=%d):\n", *hi)
+		if err := spanFlags.Finish(os.Stdout, tr); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *memprofile != "" {

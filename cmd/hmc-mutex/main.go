@@ -20,6 +20,10 @@
 //	hmc-mutex -sample series.jsonl  # cycle-indexed time series from one
 //	                                # fully instrumented run per config
 //	                                # (tabulate with: hmc-trace -sample series.jsonl)
+//	hmc-mutex -spans -span-out spans.json
+//	                                # request-lifecycle span trace from one
+//	                                # instrumented run per config (load the
+//	                                # JSON at ui.perfetto.dev)
 package main
 
 import (
@@ -30,6 +34,7 @@ import (
 	"strconv"
 
 	hmcsim "repro"
+	"repro/internal/spanflag"
 )
 
 func main() {
@@ -49,6 +54,7 @@ func main() {
 	faultKinds := flag.String("fault-kinds", "all", "comma-separated fault kinds: crc, flip, drop, down or all")
 	execWorkers := flag.Int("exec-workers", 1, "parallel cycle engine workers inside each simulation (1 = serial; -workers sizes the sweep pool, this sizes the per-run vault/device stepping pool)")
 	eventClock := flag.Bool("event-clock", true, "event-driven cycle scheduler: fast-forward provably idle spans (false = per-cycle reference engine)")
+	spanFlags := spanflag.Register()
 	flag.Parse()
 
 	if *lo < 2 || *hi < *lo {
@@ -114,6 +120,26 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s (threads=%d, every %d cycles)\n", *samplePath, threads, *sampleEvery)
+	}
+
+	// The sweep itself builds thousands of simulators, so span tracing
+	// runs as one extra instrumented mutex run per configuration (the
+	// -sample pattern) rather than recording every sweep point.
+	if tr := spanFlags.Tracer(); tr != nil {
+		threads := *sampleThreads
+		if threads <= 0 {
+			threads = *hi
+		}
+		for _, cfg := range []hmcsim.Config{hmcsim.FourLink4GB(), hmcsim.EightLink8GB()} {
+			if _, err := hmcsim.RunMutex(cfg, threads, *addr,
+				append([]hmcsim.Option{hmcsim.WithSpans(tr)}, opts...)...); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("span-traced mutex runs (threads=%d):\n", threads)
+		if err := spanFlags.Finish(os.Stdout, tr); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *csvPath != "" {

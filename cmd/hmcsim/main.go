@@ -21,6 +21,7 @@ import (
 
 	hmcsim "repro"
 	"repro/internal/hmccmd"
+	"repro/internal/spanflag"
 	"repro/internal/topo"
 )
 
@@ -53,6 +54,7 @@ func main() {
 	faultKinds := flag.String("fault-kinds", "all", "comma-separated fault kinds: crc, flip, drop, down or all")
 	execWorkers := flag.Int("exec-workers", 1, "parallel cycle engine workers per simulation: vault execution and multi-cube stepping (1 = serial)")
 	eventClock := flag.Bool("event-clock", true, "event-driven cycle scheduler: fast-forward provably idle spans (false = per-cycle reference engine)")
+	spanFlags := spanflag.Register()
 	flag.Parse()
 
 	if *printCommands {
@@ -134,6 +136,10 @@ func main() {
 	if !*eventClock {
 		opts = append(opts, hmcsim.WithEventClock(false))
 	}
+	spanTracer := spanFlags.Tracer()
+	if spanTracer != nil {
+		opts = append(opts, hmcsim.WithSpans(spanTracer))
+	}
 	if *devices > 1 || *topoName != "single" {
 		kind, err := topoKind(*topoName)
 		if err != nil {
@@ -161,6 +167,9 @@ func main() {
 
 	if pm != nil {
 		fmt.Printf("energy: %v\n", pm)
+	}
+	if err := spanFlags.Finish(os.Stdout, spanTracer); err != nil {
+		fatal(err)
 	}
 	if simRef != nil {
 		for _, d := range simRef.Devices() {

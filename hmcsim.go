@@ -44,6 +44,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/power"
 	"repro/internal/sim"
+	"repro/internal/span"
 	"repro/internal/topo"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -325,6 +326,42 @@ var (
 	// /debug/vars, /debug/pprof/).
 	WritePrometheus = metrics.WritePrometheus
 	ServeMetrics    = metrics.Serve
+)
+
+// Request-lifecycle span tracing: the cycle-stamped flight recorder
+// (internal/span) attributing each tracked request's latency to the
+// pipeline stage it was spent in.
+type (
+	// SpanTracer is the flight recorder; build with NewSpanTracer and
+	// attach with WithSpans. Simulator.Spans returns it after the run.
+	SpanTracer = span.Tracer
+	// SpanConfig sizes the recorder ring and selects TAG-modulo sampling
+	// and the anomaly latency threshold.
+	SpanConfig = span.Config
+	// SpanEvent is one recorded lifecycle event.
+	SpanEvent = span.Event
+	// SpanKind identifies a lifecycle event type.
+	SpanKind = span.Kind
+	// SpanStage names one latency stage of the attribution table.
+	SpanStage = span.StageID
+	// SpanAttribution is the per-stage latency-attribution table
+	// (cycles and % per stage, P50/P99 per request class).
+	SpanAttribution = span.Attribution
+)
+
+// Span-tracing constructors and exporters.
+var (
+	// NewSpanTracer builds a flight recorder (preallocated ring; appends
+	// never allocate).
+	NewSpanTracer = span.New
+	// WithSpans attaches a span tracer to a simulator; purely
+	// observational, results stay bit-identical.
+	WithSpans = sim.WithSpans
+	// WriteSpanPerfetto converts a flight-recorder dump into
+	// Chrome/Perfetto trace-event JSON (load at ui.perfetto.dev).
+	WriteSpanPerfetto = span.WritePerfetto
+	// SpanAttribute builds the per-stage attribution table from a dump.
+	SpanAttribute = span.Attribute
 )
 
 // Workload modes.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/packet"
+	"repro/internal/span"
 	"repro/internal/trace"
 )
 
@@ -77,6 +78,9 @@ func (d *Device) responsePhase() {
 			if err := l.rsp.Push(f); err != nil {
 				break // host not draining: wait
 			}
+			if d.spans != nil && d.spans.Tracked(f.Rsp.TAG) {
+				d.spans.Stage(span.KindRspEgress, d.ID, li, -1, f.Rsp.TAG, d.cycle, 0)
+			}
 			if l.rspDir.inj != nil {
 				l.rspDir.stamped = nil
 				l.rspDir.lastFrp = f.Rsp.FRP
@@ -101,6 +105,9 @@ func (d *Device) drainVaultRsp(i int) {
 		}
 		if err := d.xbar.rsp[f.Link].Push(f); err != nil {
 			return // crossbar port full: head-of-line wait
+		}
+		if d.spans != nil && d.spans.Tracked(f.Rsp.TAG) {
+			d.spans.Stage(span.KindRspXbar, d.ID, f.Link, v.ID, f.Rsp.TAG, d.cycle, 0)
 		}
 		v.rsp.Pop()
 	}
@@ -137,6 +144,9 @@ func (d *Device) linkAdvance(l *Link, dir, opp *linkDir, f *Flight, rqst *packet
 		dir.faultAt = 0
 	}
 	if dir.inj != nil && !d.retryStamp(dir, opp, f, rqst) {
+		if d.spans != nil && d.spans.Tracked(tag) {
+			d.spans.Point(span.KindRetryStall, d.ID, l.ID, -1, tag, d.cycle, 0)
+		}
 		return true // retry buffer full: wait for acknowledgments
 	}
 	// Fault decision for this attempt. The periodic injector keeps its
@@ -232,6 +242,9 @@ func (d *Device) injectFault(l *Link, dir *linkDir, kind fault.Kind, f *Flight, 
 		detail = "injected link-down window"
 		l.downUntil = d.cycle + uint64(d.downCycles)
 		d.stats.DownWindows++
+	}
+	if d.spans != nil && d.spans.Tracked(tag) {
+		d.spans.Point(span.KindFault, d.ID, l.ID, -1, tag, d.cycle, uint32(kind))
 	}
 	if d.tracer.Enabled(trace.LevelStall) {
 		ev := trace.Event{
@@ -437,6 +450,9 @@ func (d *Device) requestPhase() {
 			if err := q.Push(f); err != nil {
 				break
 			}
+			if d.spans != nil && d.spans.Tracked(f.Rqst.TAG) {
+				d.spans.Stage(span.KindLinkIngress, d.ID, li, -1, f.Rqst.TAG, d.cycle, 0)
+			}
 			if l.rqstDir.inj != nil {
 				l.rqstDir.stamped = nil
 				l.rqstDir.lastFrp = f.Rqst.FRP
@@ -477,6 +493,9 @@ func (d *Device) requestPhase() {
 					})
 				}
 				break
+			}
+			if d.spans != nil && d.spans.Tracked(f.Rqst.TAG) {
+				d.spans.Stage(span.KindVaultEnq, d.ID, -1, vi, f.Rqst.TAG, d.cycle, 0)
 			}
 			setBit(d.vaultRqstMask, vi)
 			q.Pop()

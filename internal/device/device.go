@@ -70,6 +70,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/packet"
+	"repro/internal/span"
 	"repro/internal/trace"
 )
 
@@ -221,6 +222,12 @@ type Device struct {
 	amoU   *amo.Unit
 	cmcTab *cmc.Table
 	tracer trace.Tracer
+
+	// spans, when non-nil, is the request-lifecycle flight recorder
+	// (SetSpans). Every hook is guarded by a nil check plus a lock-free
+	// Tracked bitmap read, so the disabled path costs one predictable
+	// branch and the untracked path one array load.
+	spans *span.Tracer
 
 	cycle uint64
 	stats Stats
@@ -523,6 +530,15 @@ func (d *Device) Vault(i int) (*Vault, error) {
 // Xbar returns the crossbar model for stats inspection.
 func (d *Device) Xbar() *Crossbar { return &d.xbar }
 
+// SetSpans attaches a request-lifecycle span tracer; nil detaches it.
+// The tracer only observes (cycle stamps, tags, queue transitions) and
+// never changes device behavior, so results stay bit-identical with or
+// without it.
+func (d *Device) SetSpans(t *span.Tracer) { d.spans = t }
+
+// Spans returns the attached span tracer, nil when tracing is off.
+func (d *Device) Spans() *span.Tracer { return d.spans }
+
 // Send submits a decoded request on a host link. A full link queue
 // returns ErrStall. The request's CUB must address this device.
 //
@@ -545,6 +561,9 @@ func (d *Device) Send(link int, r *packet.Rqst) error {
 		d.putRqst(adopted)
 		d.putFlight(f)
 		d.stats.SendStalls++
+		if d.spans != nil && d.spans.Tracked(r.TAG) {
+			d.spans.Point(span.KindSendStall, d.ID, link, -1, r.TAG, d.cycle, 0)
+		}
 		if d.tracer.Enabled(trace.LevelStall) {
 			d.tracer.Emit(trace.Event{
 				Cycle: d.cycle, Kind: trace.LevelStall,
@@ -554,6 +573,12 @@ func (d *Device) Send(link int, r *packet.Rqst) error {
 			})
 		}
 		return ErrStall
+	}
+	if d.spans != nil {
+		// Begin makes the tracking decision (TAG modulo / armed budget)
+		// on first sight; on a topology-forwarded request already being
+		// tracked it records the hop-stage end instead.
+		d.spans.Begin(d.ID, link, r.TAG, uint8(r.Cmd.InfoRef().Class), d.cycle)
 	}
 	return nil
 }
@@ -573,6 +598,12 @@ func (d *Device) Recv(link int) (*packet.Rsp, bool) {
 		return nil, false
 	}
 	rsp := f.Rsp
+	if d.spans != nil && d.spans.Tracked(rsp.TAG) {
+		// Closes the span unless the request was topology-forwarded
+		// (then the collection here is an intermediate hop and the span
+		// closes at Tracer.Arrive).
+		d.spans.End(d.ID, link, rsp.TAG, d.cycle)
+	}
 	if d.tracer.Enabled(trace.LevelLatency) {
 		d.tracer.Emit(trace.Event{
 			Cycle: d.cycle, Kind: trace.LevelLatency,

@@ -7,6 +7,7 @@ import (
 	"repro/internal/hmccmd"
 	"repro/internal/packet"
 	"repro/internal/queue"
+	"repro/internal/span"
 	"repro/internal/trace"
 )
 
@@ -87,6 +88,9 @@ func (d *Device) execVault(v *Vault, st *Stats) {
 		if locErr == nil && d.Cfg.BankLatencyCycles > 0 {
 			if b := &v.banks[loc.Bank]; d.cycle < b.readyAt {
 				st.BankConflicts++
+				if d.spans != nil && d.spans.Tracked(r.TAG) {
+					d.spans.Point(span.KindBankWait, d.ID, -1, v.ID, r.TAG, d.cycle, uint32(loc.Bank))
+				}
 				if d.tracer.Enabled(trace.LevelBank) {
 					d.tracer.Emit(trace.Event{
 						Cycle: d.cycle, Kind: trace.LevelBank,
@@ -103,6 +107,9 @@ func (d *Device) execVault(v *Vault, st *Stats) {
 		needsRsp := info.Class != hmccmd.ClassFlow && info.Rsp != hmccmd.RspNone
 		if needsRsp && v.rsp.Full() {
 			st.RspBackpressure++
+			if d.spans != nil && d.spans.Tracked(r.TAG) {
+				d.spans.Point(span.KindRspWait, d.ID, -1, v.ID, r.TAG, d.cycle, 0)
+			}
 			return
 		}
 
@@ -128,6 +135,15 @@ func (d *Device) execVault(v *Vault, st *Stats) {
 		}
 
 		rsp := d.executeRqst(v, f, info, loc, locErr, st)
+		if d.spans != nil && d.spans.Tracked(r.TAG) {
+			// Dispatch and execution happen in the same cycle; a posted
+			// command (no response) closes its span here.
+			var errstat uint8
+			if rsp != nil {
+				errstat = rsp.ERRSTAT
+			}
+			d.spans.Execute(d.ID, v.ID, r.TAG, d.cycle, errstat, rsp == nil)
+		}
 		if d.ExecHook != nil {
 			rspFlits := 0
 			if rsp != nil {

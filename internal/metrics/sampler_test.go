@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -158,5 +159,96 @@ func TestIntervalReport(t *testing.T) {
 
 	if got := IntervalReport(nil, 1.25); got != "no samples\n" {
 		t.Errorf("empty report = %q", got)
+	}
+}
+
+// TestParseSamplesEmptyFile pins the hmc-trace -sample path for an
+// empty series file: no samples, no error, and the report degrades to
+// its "no samples" form instead of panicking.
+func TestParseSamplesEmptyFile(t *testing.T) {
+	samples, err := ParseSamples(strings.NewReader(""))
+	if err != nil {
+		t.Fatalf("empty stream: %v", err)
+	}
+	if len(samples) != 0 {
+		t.Fatalf("parsed %d samples from empty stream", len(samples))
+	}
+	if got := IntervalReport(samples, 1.25); got != "no samples\n" {
+		t.Fatalf("empty report = %q", got)
+	}
+}
+
+// TestIntervalReportSingleSample covers a series with one record — no
+// interval pair exists, so the table is headers-only, but the final
+// histogram summary must still print.
+func TestIntervalReportSingleSample(t *testing.T) {
+	samples := []Sample{{
+		Cycle:  500,
+		Values: map[string]float64{NameRqsts + "{dev=0}": 42},
+		Hists: map[string]HistSummary{
+			"hmc_workload_completion_cycles": {Count: 2, Sum: 100, Min: 40, Max: 60},
+		},
+	}}
+	got := IntervalReport(samples, 1.25)
+	if !strings.Contains(got, "cycle") {
+		t.Errorf("single-sample report lost its header:\n%s", got)
+	}
+	if strings.Contains(got, "\n500 ") {
+		t.Errorf("single sample produced an interval row:\n%s", got)
+	}
+	if !strings.Contains(got, "hmc_workload_completion_cycles: n=2 min=40 max=60 avg=50.00") {
+		t.Errorf("single-sample report lost the histogram summary:\n%s", got)
+	}
+	// Duplicate cycles (a final unconditional Sample landing on a
+	// periodic boundary) must not divide by a zero interval.
+	samples = append(samples, samples[0])
+	if got := IntervalReport(samples, 1.25); strings.Contains(got, "NaN") || strings.Contains(got, "Inf") {
+		t.Errorf("zero-width interval leaked into the report:\n%s", got)
+	}
+}
+
+// TestParseSamplesMixedTags round-trips an interleaved two-run stream —
+// the shape hmc-mutex writes when both configs share one JSONL file —
+// and checks the report groups rows per tag set in first-seen order.
+func TestParseSamplesMixedTags(t *testing.T) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	mk := func(cfg string, cycle uint64, rqsts float64) Sample {
+		return Sample{
+			Cycle:  cycle,
+			Tags:   map[string]string{"config": cfg},
+			Values: map[string]float64{NameRqsts + "{dev=0}": rqsts},
+		}
+	}
+	// Interleaved on purpose: grouping must not depend on file order.
+	for _, s := range []Sample{
+		mk("4Link-4GB", 100, 10), mk("8Link-8GB", 100, 20),
+		mk("4Link-4GB", 200, 30), mk("8Link-8GB", 200, 60),
+	} {
+		if err := enc.Encode(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	samples, err := ParseSamples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 4 {
+		t.Fatalf("parsed %d samples, want 4", len(samples))
+	}
+	for i, s := range samples {
+		if len(s.Tags) != 1 || len(s.Values) != 1 {
+			t.Fatalf("sample %d lost fields in round trip: %+v", i, s)
+		}
+	}
+	got := IntervalReport(samples, 1.25)
+	four := strings.Index(got, "run: config=4Link-4GB")
+	eight := strings.Index(got, "run: config=8Link-8GB")
+	if four < 0 || eight < 0 || four > eight {
+		t.Fatalf("report does not group tag sets in first-seen order:\n%s", got)
+	}
+	// Each group computed its own interval deltas: 30-10 and 60-20.
+	if !strings.Contains(got, "20 ") || !strings.Contains(got, "40 ") {
+		t.Errorf("per-group request deltas missing:\n%s", got)
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/power"
+	"repro/internal/span"
 	"repro/internal/topo"
 	"repro/internal/trace"
 )
@@ -47,6 +48,7 @@ type options struct {
 	sampler     *metrics.Sampler
 	faultPlan   *fault.Plan
 	eventOff    bool
+	spans       *span.Tracer
 }
 
 // Option configures a Simulator.
@@ -103,6 +105,18 @@ func WithSampler(sm *metrics.Sampler) Option {
 	return func(o *options) { o.sampler = sm }
 }
 
+// WithSpans attaches a request-lifecycle span tracer (span.New): every
+// device and the topology record cycle-stamped pipeline-stage events
+// for the requests the tracer samples, into its fixed-capacity flight
+// recorder. Purely observational — simulation results are bit-identical
+// with spans on or off — and with no tracer attached the hot path pays
+// a single nil check per hook. When combined with WithMetrics, the
+// tracer also feeds per-stage hmc_stage_cycles histograms into the
+// registry.
+func WithSpans(t *span.Tracer) Option {
+	return func(o *options) { o.spans = t }
+}
+
 // WithParallelClock enables the parallel cycle engine with n persistent
 // pool workers: each device's execute phase services active vaults
 // across the pool (above the adaptive fan-out threshold,
@@ -138,6 +152,7 @@ type Simulator struct {
 	reg       *metrics.Registry
 	sampler   *metrics.Sampler
 	faultPlan fault.Plan
+	spans     *span.Tracer
 	cycle     uint64
 
 	// Wire-level scratch: SendWire decodes into wireRqst (adopted by the
@@ -200,6 +215,10 @@ func New(cfg config.Config, opts ...Option) (*Simulator, error) {
 			}
 		}
 	}
+	if o.spans != nil {
+		s.spans = o.spans
+		tp.SetSpans(o.spans)
+	}
 	if o.metricsReg != nil {
 		s.reg = o.metricsReg
 		for _, d := range tp.Devices() {
@@ -207,6 +226,9 @@ func New(cfg config.Config, opts ...Option) (*Simulator, error) {
 		}
 		if s.pm != nil {
 			s.pm.RegisterMetrics(s.reg)
+		}
+		if s.spans != nil {
+			s.spans.RegisterMetrics(s.reg)
 		}
 	}
 	s.sampler = o.sampler
@@ -323,7 +345,8 @@ func Reusable(opts ...Option) bool {
 		opt(&o)
 	}
 	return o.tracer == nil && o.powerParams == nil && o.powerModel == nil &&
-		o.observer == nil && o.metricsReg == nil && o.sampler == nil
+		o.observer == nil && o.metricsReg == nil && o.sampler == nil &&
+		o.spans == nil
 }
 
 // Close releases the parallel cycle engine's worker pools — every
@@ -435,6 +458,12 @@ func (s *Simulator) Metrics() *metrics.Registry { return s.reg }
 // Sampler returns the time-series sampler attached via WithSampler, or
 // nil. Drivers use it to force a final sample at run end before flushing.
 func (s *Simulator) Sampler() *metrics.Sampler { return s.sampler }
+
+// Spans returns the request-lifecycle span tracer attached via
+// WithSpans, or nil when span tracing is disabled. Drivers dump its
+// flight recorder (Events, WritePerfetto) or attribution table
+// (Attribution) after the run.
+func (s *Simulator) Spans() *span.Tracer { return s.spans }
 
 // Links returns the number of host links.
 func (s *Simulator) Links() int { return s.cfg.Links }

@@ -1,0 +1,208 @@
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/hmccmd"
+)
+
+// Chrome/Perfetto trace-event JSON. One trace "process" per cube plus a
+// host process; inside each cube, one "thread" track per link and per
+// vault. Every closed span becomes a set of complete ("X") events: an
+// umbrella span for the whole request on the host track, nested stage
+// spans on the link/vault tracks they occupied, and instant ("i")
+// events for markers (stalls, faults, retries, anomalies). Cycle
+// numbers are written directly as microsecond timestamps, so 1 µs in
+// the UI reads as 1 device cycle.
+
+// pid/tid layout: the host process is pid 1 (tid = request tag lane);
+// cube N is pid 10+N with link tracks tid 100+link and vault tracks
+// tid 200+vault.
+const (
+	pidHost   = 1
+	pidCube   = 10
+	tidLink   = 100
+	tidVault  = 200
+	pidTopo   = 2
+	tidHops   = 1
+	tidSample = 2
+)
+
+// traceEvent is one Chrome trace-event record.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+	DisplayUnit string       `json:"displayTimeUnit"`
+}
+
+func meta(name string, pid, tid int, value string) traceEvent {
+	ev := traceEvent{Name: name, Ph: "M", Pid: pid, Args: map[string]any{"name": value}}
+	if name == "thread_name" || name == "thread_sort_index" {
+		ev.Tid = tid
+	}
+	return ev
+}
+
+// WritePerfetto converts a flight-recorder dump (oldest-first) into
+// Chrome/Perfetto trace-event JSON on w. Load the output at
+// ui.perfetto.dev or chrome://tracing. Spans still open at the end of
+// the dump are emitted as best-effort umbrellas ending at their last
+// event.
+func WritePerfetto(w io.Writer, events []Event) error {
+	f := traceFile{DisplayUnit: "ns"}
+
+	// Track discovery: emit process/thread metadata only for tracks
+	// that actually carry events.
+	type track struct{ pid, tid int }
+	seen := map[track]bool{}
+	need := func(pid, tid int) {
+		seen[track{pid, tid}] = true
+	}
+
+	var acc [numTags]spanAcc
+	flush := func(s *spanAcc, tag uint16, endCycle uint64, closed bool) {
+		name := fmt.Sprintf("%s tag=%d", hmccmd.Class(s.class), tag)
+		if !closed {
+			name += " (open)"
+		}
+		f.TraceEvents = append(f.TraceEvents, traceEvent{
+			Name: name, Ph: "X", Ts: s.openCycle, Dur: endCycle - s.openCycle,
+			Pid: pidHost, Tid: int(tag), Cat: "request",
+			Args: map[string]any{"tag": tag, "latency_cycles": endCycle - s.openCycle},
+		})
+		need(pidHost, int(tag))
+	}
+
+	for _, e := range events {
+		tag := e.Tag & uint16(numTags-1)
+		s := &acc[tag]
+		if e.Kind.Marker() {
+			pid, tid := pidHost, int(tag)
+			switch {
+			case e.Vault >= 0:
+				pid, tid = pidCube+int(e.Dev), tidVault+int(e.Vault)
+			case e.Link >= 0 && e.Dev >= 0:
+				pid, tid = pidCube+int(e.Dev), tidLink+int(e.Link)
+			}
+			args := map[string]any{"tag": e.Tag}
+			if e.Arg != 0 {
+				args["arg"] = e.Arg
+			}
+			f.TraceEvents = append(f.TraceEvents, traceEvent{
+				Name: e.Kind.String(), Ph: "i", Ts: e.Cycle,
+				Pid: pid, Tid: tid, S: "t", Cat: "marker", Args: args,
+			})
+			need(pid, tid)
+			continue
+		}
+
+		if e.Kind == KindTopoForward || (e.Kind == KindHostSend && !s.open) {
+			if s.open {
+				// A new span opened before the old one closed (its
+				// closing event was lost to ring wrap): flush what we
+				// have.
+				flush(s, tag, s.lastCycle, false)
+			}
+			*s = spanAcc{open: true, forwarded: e.Kind == KindTopoForward,
+				openCycle: e.Cycle, lastCycle: e.Cycle, class: e.Class}
+			if e.Kind == KindHostSend {
+				continue
+			}
+		}
+		if !s.open {
+			continue
+		}
+
+		// Each stage event closes a nested span on the component track
+		// it ran on: [lastCycle, e.Cycle] named after the stage.
+		stage := stageOf(e.Kind, s.forwarded)
+		if dur := e.Cycle - s.lastCycle; dur > 0 {
+			pid, tid := pidTopo, tidHops
+			switch {
+			case e.Vault >= 0:
+				pid, tid = pidCube+int(e.Dev), tidVault+int(e.Vault)
+			case e.Link >= 0 && e.Dev >= 0:
+				pid, tid = pidCube+int(e.Dev), tidLink+int(e.Link)
+			}
+			f.TraceEvents = append(f.TraceEvents, traceEvent{
+				Name: stage.String(), Ph: "X", Ts: s.lastCycle, Dur: dur,
+				Pid: pid, Tid: tid, Cat: "stage",
+				Args: map[string]any{"tag": e.Tag},
+			})
+			need(pid, tid)
+		}
+		s.lastCycle = e.Cycle
+
+		switch {
+		case e.Kind == KindTopoArrive,
+			e.Kind == KindHostRecv && !s.forwarded,
+			e.Kind == KindExecute && e.Arg&ArgPosted != 0:
+			flush(s, tag, e.Cycle, true)
+			s.open = false
+		}
+	}
+	for tag := range acc {
+		if acc[tag].open {
+			flush(&acc[tag], uint16(tag), acc[tag].lastCycle, false)
+		}
+	}
+
+	// Metadata: name the processes and threads the events used.
+	var tracks []track
+	for t := range seen {
+		tracks = append(tracks, t)
+	}
+	sort.Slice(tracks, func(i, j int) bool {
+		if tracks[i].pid != tracks[j].pid {
+			return tracks[i].pid < tracks[j].pid
+		}
+		return tracks[i].tid < tracks[j].tid
+	})
+	var metaEvents []traceEvent
+	namedPid := map[int]bool{}
+	for _, t := range tracks {
+		if !namedPid[t.pid] {
+			namedPid[t.pid] = true
+			switch {
+			case t.pid == pidHost:
+				metaEvents = append(metaEvents, meta("process_name", t.pid, 0, "host"))
+			case t.pid == pidTopo:
+				metaEvents = append(metaEvents, meta("process_name", t.pid, 0, "topology"))
+			default:
+				metaEvents = append(metaEvents, meta("process_name", t.pid, 0,
+					fmt.Sprintf("cube %d", t.pid-pidCube)))
+			}
+		}
+		var name string
+		switch {
+		case t.pid == pidHost:
+			name = fmt.Sprintf("tag %d", t.tid)
+		case t.pid == pidTopo:
+			name = "hops"
+		case t.tid >= tidVault:
+			name = fmt.Sprintf("vault %d", t.tid-tidVault)
+		default:
+			name = fmt.Sprintf("link %d", t.tid-tidLink)
+		}
+		ev := meta("thread_name", t.pid, t.tid, name)
+		metaEvents = append(metaEvents, ev)
+	}
+	f.TraceEvents = append(metaEvents, f.TraceEvents...)
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(&f)
+}

@@ -1,0 +1,85 @@
+// Package spanflag wires the span-tracing flag family (-spans,
+// -span-out, -span-sample, -span-threshold) shared by every CLI, so all
+// four drivers expose identical controls over the request-lifecycle
+// flight recorder.
+package spanflag
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/span"
+)
+
+// Flags holds the parsed span-tracing flag values.
+type Flags struct {
+	// Spans enables request-lifecycle tracing.
+	Spans bool
+	// Out is the Perfetto trace-event JSON output path.
+	Out string
+	// Sample is the TAG-modulo sampling divisor (1 = every request).
+	Sample uint64
+	// Threshold flags spans slower than this many cycles as anomalies
+	// (0 disables the check).
+	Threshold uint64
+}
+
+// Register installs the flag family on the default flag set. Call
+// before flag.Parse.
+func Register() *Flags {
+	f := &Flags{}
+	flag.BoolVar(&f.Spans, "spans", false,
+		"record request-lifecycle spans (per-stage latency attribution) into the flight recorder")
+	flag.StringVar(&f.Out, "span-out", "",
+		"write the recorded spans as Chrome/Perfetto trace-event JSON to this file (load at ui.perfetto.dev)")
+	flag.Uint64Var(&f.Sample, "span-sample", 1,
+		"track requests whose TAG is divisible by this (1 = every request)")
+	flag.Uint64Var(&f.Threshold, "span-threshold", 0,
+		"flag spans slower than this many cycles as anomalies (0 = off)")
+	return f
+}
+
+// Tracer builds the flight recorder the flags describe, or nil when
+// -spans was not given.
+func (f *Flags) Tracer() *span.Tracer {
+	if !f.Spans {
+		return nil
+	}
+	return span.New(span.Config{
+		SampleMod:       uint32(f.Sample),
+		ThresholdCycles: f.Threshold,
+	})
+}
+
+// Finish dumps the recorder after a run: the Perfetto trace to -span-out
+// (when given) and the per-stage attribution table to w.
+func (f *Flags) Finish(w io.Writer, t *span.Tracer) error {
+	if t == nil {
+		return nil
+	}
+	events := t.Events()
+	if f.Out != "" {
+		out, err := os.Create(f.Out)
+		if err != nil {
+			return err
+		}
+		if err := span.WritePerfetto(out, events); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s (%d span events; open at ui.perfetto.dev)\n", f.Out, len(events))
+	}
+	fmt.Fprint(w, span.Attribute(events).Report())
+	if d := t.Dropped(); d > 0 {
+		fmt.Fprintf(w, "flight recorder wrapped: %d oldest events overwritten (raise capacity or -span-sample)\n", d)
+	}
+	if a := t.Anomalies(); a > 0 {
+		fmt.Fprintf(w, "anomalies: %d spans exceeded %d cycles\n", a, f.Threshold)
+	}
+	return nil
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/device"
 	"repro/internal/packet"
+	"repro/internal/span"
 	"repro/internal/trace"
 )
 
@@ -112,6 +113,11 @@ type Topology struct {
 	// nothing once each clone's payload buffer reaches its high-water
 	// capacity.
 	rqstFree []*packet.Rqst
+
+	// spans, when non-nil, is the request-lifecycle flight recorder
+	// shared with every device (SetSpans): the topology contributes the
+	// inter-cube hop events (forward departure, return arrival).
+	spans *span.Tracer
 }
 
 // New builds n identically configured devices wired as kind. A nil tracer
@@ -145,6 +151,19 @@ func New(kind Kind, n int, cfg config.Config, tracer trace.Tracer) (*Topology, e
 // as the topology-level analogue of device.ForceWalk: an escape hatch
 // for debugging and for the equivalence suite's reference runs.
 func (t *Topology) SetEventDriven(on bool) { t.eventOff = !on }
+
+// SetSpans attaches one request-lifecycle span tracer to the topology
+// and every device in it; nil detaches. Purely observational — results
+// are bit-identical with or without it.
+func (t *Topology) SetSpans(tr *span.Tracer) {
+	t.spans = tr
+	for _, d := range t.devs {
+		d.SetSpans(tr)
+	}
+}
+
+// Spans returns the attached span tracer, nil when tracing is off.
+func (t *Topology) Spans() *span.Tracer { return t.spans }
 
 // SetWorkers enables concurrent device stepping: each Clock steps the
 // topology's devices across up to n persistent pool workers (capped at
@@ -261,6 +280,12 @@ func (t *Topology) Send(link int, r *packet.Rqst) error {
 		rqst:      c,
 	})
 	t.ForwardedRqsts++
+	if t.spans != nil {
+		// Forward makes the tracking decision and opens the span for
+		// remote requests; the remote device's Send then records the
+		// hop-stage end, and Arrive (below) closes after the return hops.
+		t.spans.Forward(link, r.TAG, uint8(r.Cmd.InfoRef().Class), hops, t.cycle)
+	}
 	return nil
 }
 
@@ -295,6 +320,9 @@ func (t *Topology) Recv(link int) (*packet.Rsp, bool) {
 	h := t.rspHead[link]
 	if h < len(q) && q[h].deliverAt <= t.cycle {
 		rsp := q[h].rsp
+		if t.spans != nil && t.spans.Tracked(rsp.TAG) {
+			t.spans.Arrive(link, rsp.TAG, t.cycle)
+		}
 		q[h].rsp = nil // release the head entry's packet reference
 		h++
 		if h == len(q) {

@@ -89,3 +89,19 @@ func TestAnalyzeFillsKindNameWhenMissing(t *testing.T) {
 		t.Errorf("ByKind: %v", a.ByKind)
 	}
 }
+
+// TestParseJSONLEmptyThroughAnalysis pins the hmc-trace flow for an
+// empty trace file: zero events parse cleanly and the analysis report
+// degrades to its empty form.
+func TestParseJSONLEmptyThroughAnalysis(t *testing.T) {
+	events, err := ParseJSONL(strings.NewReader(""))
+	if err != nil {
+		t.Fatalf("empty file: %v", err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("parsed %d events from empty file", len(events))
+	}
+	if got := Analyze(events).Report(10); got != "empty trace\n" {
+		t.Fatalf("Report = %q", got)
+	}
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+// TestResultReportSurfacesAgentAndLinkHealth locks the per-agent stall
+// and device-reliability fields next to the op-latency summary: a
+// contended mutex run under deterministic link faults must show
+// populated op latencies, per-agent stall attribution consistent with
+// the aggregate counter, and the devices' retry totals.
+func TestResultReportSurfacesAgentAndLinkHealth(t *testing.T) {
+	cfg := config.FourLink4GB()
+	cfg.LinkFaultPeriod = 5 // every 5th traversal faults: retries guaranteed
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"hmc_lock", "hmc_trylock", "hmc_unlock"} {
+		if err := s.LoadCMC(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	agents := make([]Agent, 12)
+	muts := make([]MutexAgent, 12)
+	for i := range muts {
+		muts[i] = MutexAgent{TID: uint64(i) + 1, Addr: 0x40}
+		agents[i] = &muts[i]
+	}
+	res, err := Run(s, agents, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.OpLatency.N() == 0 {
+		t.Fatal("no op latencies recorded")
+	}
+	if res.OpLatency.Min() < 3 {
+		t.Errorf("op latency min %d below the uncongested round trip", res.OpLatency.Min())
+	}
+	if res.StalledAgents > len(agents) {
+		t.Errorf("StalledAgents %d exceeds agent count", res.StalledAgents)
+	}
+	if res.MaxAgentStalls > res.SendStalls {
+		t.Errorf("worst agent stalls %d exceed total %d", res.MaxAgentStalls, res.SendStalls)
+	}
+	if (res.SendStalls > 0) != (res.StalledAgents > 0) {
+		t.Errorf("aggregate stalls %d inconsistent with %d stalled agents",
+			res.SendStalls, res.StalledAgents)
+	}
+	if res.LinkRetries == 0 {
+		t.Error("periodic faults fired but LinkRetries is 0")
+	}
+
+	rep := res.Report()
+	for _, want := range []string{
+		"completion cycles:",
+		"op latency:",
+		"send stalls:",
+		"link reliability:",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("Report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+// TestResultReportCleanRun pins the zero cases: no faults, no stalls on
+// an uncontended run — every count reads zero rather than garbage.
+func TestResultReportCleanRun(t *testing.T) {
+	s, err := sim.New(config.TwoGBDev())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadCMC("hmc_lock"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadCMC("hmc_unlock"); err != nil {
+		t.Fatal(err)
+	}
+	agents := []Agent{&MutexAgent{TID: 1, Addr: 0x80}}
+	res, err := Run(s, agents, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StalledAgents != 0 || res.MaxAgentStalls != 0 {
+		t.Errorf("uncontended run stalled: %d agents, worst %d",
+			res.StalledAgents, res.MaxAgentStalls)
+	}
+	if res.LinkRetries != 0 || res.RetryTimeouts != 0 {
+		t.Errorf("fault-free run reports retries %d timeouts %d",
+			res.LinkRetries, res.RetryTimeouts)
+	}
+	if !strings.Contains(res.Report(), "0 retries, 0 retransmit timeouts") {
+		t.Errorf("clean report:\n%s", res.Report())
+	}
+}

@@ -54,6 +54,33 @@ type Result struct {
 	Summary stats.Summary
 	// Rqsts and SendStalls count issued requests and send-side stalls.
 	Rqsts, SendStalls uint64
+	// OpLatency aggregates per-operation issue-to-complete latency
+	// (posted operations count as 0 cycles) — the run-local view of the
+	// NameOpLatency histogram, available without a metrics registry.
+	OpLatency stats.Summary
+	// StalledAgents is the number of agents that absorbed at least one
+	// HMC_STALL, and MaxAgentStalls the worst single agent's stall
+	// count — the per-agent refinement of SendStalls.
+	StalledAgents  int
+	MaxAgentStalls uint64
+	// LinkRetries and RetryTimeouts surface the run's device-side
+	// reliability events next to the host-side latency numbers:
+	// completed link retry sequences, and whole-packet drops recovered
+	// only by the sender's retransmit timeout (summed over devices).
+	LinkRetries, RetryTimeouts uint64
+}
+
+// Report renders the run's latency and reliability summary as one
+// block: op latency next to send-stall and retry-timeout visibility
+// (the workload-layer mirror of the device reliability Report line).
+func (r Result) Report() string {
+	return fmt.Sprintf(
+		"completion cycles: %v\nop latency:        %v\n"+
+			"send stalls:       %d total, %d/%d agents stalled, worst agent %d\n"+
+			"link reliability:  %d retries, %d retransmit timeouts",
+		&r.Summary, &r.OpLatency,
+		r.SendStalls, r.StalledAgents, len(r.CompletionCycles), r.MaxAgentStalls,
+		r.LinkRetries, r.RetryTimeouts)
 }
 
 // agentState is the engine's per-agent bookkeeping, kept in one slice
@@ -63,6 +90,7 @@ type agentState struct {
 	done        bool
 	pending     *packet.Rqst // stalled request awaiting retry
 	issueCycle  uint64       // cycle the outstanding request was accepted on
+	stalls      uint64       // HMC_STALL rejections this agent absorbed
 }
 
 // Workload-level metric names registered by Run when the simulator
@@ -182,6 +210,7 @@ func runWith(s *sim.Simulator, agents []Agent, maxCycles uint64, state []agentSt
 				}
 				if err := s.Send(int(r.SLID), r); err != nil {
 					st.pending = r // HMC_STALL: retry next cycle
+					st.stalls++
 					res.SendStalls++
 					if sendStalls != nil {
 						sendStalls.Inc()
@@ -192,6 +221,7 @@ func runWith(s *sim.Simulator, agents []Agent, maxCycles uint64, state []agentSt
 				res.Rqsts++
 				if r.Cmd.Posted() {
 					// No response will arrive; the agent continues next cycle.
+					res.OpLatency.Add(0)
 					if opLat != nil {
 						opLat.Observe(0)
 					}
@@ -220,6 +250,7 @@ func runWith(s *sim.Simulator, agents []Agent, maxCycles uint64, state []agentSt
 				}
 				state[i].outstanding = false
 				outstanding--
+				res.OpLatency.Add(s.Cycle() - state[i].issueCycle)
 				if opLat != nil {
 					opLat.Observe(s.Cycle() - state[i].issueCycle)
 				}
@@ -242,6 +273,21 @@ func runWith(s *sim.Simulator, agents []Agent, maxCycles uint64, state []agentSt
 		if complHist != nil {
 			complHist.Observe(c)
 		}
+	}
+	// Per-agent stall visibility and the run's device-side reliability
+	// counters (per-run even under session reuse: Reset zeroes stats).
+	for i := range state {
+		if st := state[i].stalls; st > 0 {
+			res.StalledAgents++
+			if st > res.MaxAgentStalls {
+				res.MaxAgentStalls = st
+			}
+		}
+	}
+	for _, d := range s.Devices() {
+		ds := d.Stats()
+		res.LinkRetries += ds.LinkRetries
+		res.RetryTimeouts += ds.Drops
 	}
 	res.Cycles = s.Cycle()
 	return res, nil

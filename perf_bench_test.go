@@ -721,3 +721,47 @@ func TestClockLoopZeroAllocWithMetrics(t *testing.T) {
 		t.Errorf("instrumented round trip: %.1f allocs/op, want 0", allocs)
 	}
 }
+
+// BenchmarkClockLoopSpansOff measures the RD64 round trip on a
+// simulator built without a span tracer — the disabled-path baseline
+// the ≤10% sampled-overhead budget is judged against. It must match
+// BenchmarkClockLoopRead64 (the nil-tracer branches are compares, not
+// work) and stay at 0 allocs/op.
+func BenchmarkClockLoopSpansOff(b *testing.B) {
+	s := benchDevice(b)
+	r, err := BuildRead(0, 0x1000, 1, 0, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		roundTrip(b, s, 0, r)
+	}
+}
+
+// BenchmarkClockLoopSpansSampled measures the same round trip with a
+// span tracer attached at 1-in-16 TAG-modulo sampling, cycling the
+// request tag so the sampler sees the configured mix of tracked and
+// untracked traffic. scripts/bench.sh warns when this regresses more
+// than 10% against its recorded baseline.
+func BenchmarkClockLoopSpansSampled(b *testing.B) {
+	tr := NewSpanTracer(SpanConfig{SampleMod: 16})
+	s, err := New(FourLink4GB(), WithSpans(tr))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rqsts := make([]*Rqst, 16)
+	for tag := range rqsts {
+		r, err := BuildRead(0, 0x1000, uint16(tag), 0, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rqsts[tag] = r
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		roundTrip(b, s, 0, rqsts[i&15])
+	}
+}

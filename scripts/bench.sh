@@ -40,6 +40,9 @@ trap 'rm -f "$raw"' EXIT
 # written.
 prev="$(ls -1t BENCH_*.json 2>/dev/null | head -1 || true)"
 
+# The BenchmarkClockLoop prefix also covers the span-tracer pair
+# (BenchmarkClockLoopSpansOff / BenchmarkClockLoopSpansSampled), so the
+# sampled-tracing overhead rides the same >10% regression warning.
 go test -run '^$' \
     -bench 'BenchmarkClockLoop|BenchmarkMutexSweep|BenchmarkPacket|BenchmarkCRC|BenchmarkMetrics|BenchmarkFault|BenchmarkTopoChainClock|BenchmarkPooledExecPhase|BenchmarkIdleFastForward' \
     -benchmem -benchtime 1s "$@" . | tee "$raw"

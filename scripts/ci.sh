@@ -2,23 +2,27 @@
 # CI gate: build, vet, full test suite, then the race detector over the
 # packages with concurrent hot paths (the parallel clock and its striped
 # barrier pool, the event-driven scheduler in the topology layer, the
-# sharded store, the atomic metrics registry, the fault injector feeding
-# the parallel sweep, and the sim-layer composition of all of them), the
-# engine-equivalence suites under -race, the zero-alloc smoke pinning
-# the topo clock's allocation-free forwarding, and finally a 1-iteration
-# benchmark smoke so every benchmark at least compiles and executes
-# (~5s; it measures nothing).
+# sharded store, the atomic metrics registry, the span tracer fed from
+# pool workers and concurrently stepped cubes, the fault injector
+# feeding the parallel sweep, and the sim-layer composition of all of
+# them), the engine-equivalence suites under -race, the zero-alloc
+# smoke pinning the topo clock's allocation-free forwarding and the
+# spans-disabled clock loop, and finally a 1-iteration benchmark smoke
+# so every benchmark at least compiles and executes (~5s; it measures
+# nothing).
 set -eux
 
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/device ./internal/fault ./internal/mem ./internal/metrics ./internal/sim ./internal/topo ./internal/workload
-go test -race -run 'TestParallelClock|TestClockModeEquivalence|TestSerialPooledWorkloadEquivalence|TestEventClock' .
+go test -race ./internal/device ./internal/fault ./internal/mem ./internal/metrics ./internal/sim ./internal/span ./internal/topo ./internal/workload
+go test -race -run 'TestParallelClock|TestClockModeEquivalence|TestSerialPooledWorkloadEquivalence|TestEventClock|TestSpans' .
 # Allocation-regression gate: every pin that asserts a hot path stays
 # allocation-free (the pins skip themselves under -race, so this is a
-# separate non-race invocation).
-go test -run 'ZeroAlloc' -count=1 . ./internal/metrics
+# separate non-race invocation). TestClockLoopSpansOffZeroAlloc in the
+# root package pins the disabled-tracer clock loop; TestEmitZeroAlloc
+# in internal/span pins the recording path itself.
+go test -run 'ZeroAlloc' -count=1 . ./internal/metrics ./internal/span
 go test -run '^$' -bench . -benchtime 1x ./...
 
 # Speed-regression check: re-measure the key hot-path benchmarks and
