@@ -27,6 +27,7 @@ import (
 	hmcsim "repro"
 	"repro/cmcops"
 	"repro/internal/hmccmd"
+	"repro/internal/metricsflag"
 	"repro/internal/spanflag"
 )
 
@@ -39,7 +40,7 @@ func main() {
 	workers := flag.Int("workers", 0, "mutex sweep worker pool size (0 = one per schedulable core, i.e. GOMAXPROCS; 1 = serial; each worker reuses one simulator session across its points)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
-	listen := flag.String("listen", "", "serve the live introspection endpoint on this address (e.g. :8080)")
+	metricsFlags := metricsflag.Register()
 	faultRate := flag.Float64("fault-rate", 0, "per-traversal link fault probability in [0,1] (0 disables injection)")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault injection seed; the same seed reproduces the exact fault sequence")
 	faultKinds := flag.String("fault-kinds", "all", "comma-separated fault kinds: crc, flip, drop, down or all")
@@ -69,23 +70,12 @@ func main() {
 	// endpoint carries aggregate sweep-progress counters (plus pprof and
 	// expvar for the process itself) rather than per-device instruments.
 	var progress func(hmcsim.MutexRun)
-	if *listen != "" {
+	if metricsFlags.Listen != "" {
 		reg := hmcsim.NewMetricsRegistry()
-		runs := reg.Counter("hmc_sweep_runs_completed_total")
-		trylocks := reg.Counter("hmc_sweep_trylocks_total")
-		stalls := reg.Counter("hmc_sweep_send_stalls_total")
-		lastThreads := reg.Gauge("hmc_sweep_last_threads")
-		progress = func(r hmcsim.MutexRun) {
-			runs.Inc()
-			trylocks.Add(r.Trylocks)
-			stalls.Add(r.SendStalls)
-			lastThreads.Set(int64(r.Threads))
-		}
-		ln, err := hmcsim.ServeMetrics(*listen, reg)
-		if err != nil {
+		progress = metricsflag.SweepProgress(reg)
+		if _, err := metricsFlags.Serve("hmc-bench", reg); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "hmc-bench: serving metrics at http://%s/\n", ln.Addr())
 	}
 
 	if *cpuprofile != "" {

@@ -34,6 +34,7 @@ import (
 	"strconv"
 
 	hmcsim "repro"
+	"repro/internal/metricsflag"
 	"repro/internal/spanflag"
 )
 
@@ -45,7 +46,7 @@ func main() {
 	tableOnly := flag.Bool("table", false, "print only Table VI")
 	csvPath := flag.String("csv", "", "write the full sweep to a CSV file")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = one per schedulable core, i.e. GOMAXPROCS; 1 = serial; each worker reuses one simulator session across its points)")
-	listen := flag.String("listen", "", "serve the live introspection endpoint on this address (e.g. :8080)")
+	metricsFlags := metricsflag.Register()
 	samplePath := flag.String("sample", "", "write a cycle-indexed metrics time series (JSONL) from one instrumented run per config")
 	sampleEvery := flag.Uint64("sample-every", 64, "time-series sampling period in device cycles")
 	sampleThreads := flag.Int("sample-threads", 0, "thread count for the instrumented sample runs (0 = hi)")
@@ -83,23 +84,12 @@ func main() {
 	// endpoint exposes aggregate push counters fed by the per-run progress
 	// hook rather than registering every simulator.
 	var progress func(hmcsim.MutexRun)
-	if *listen != "" {
+	if metricsFlags.Listen != "" {
 		reg := hmcsim.NewMetricsRegistry()
-		runs := reg.Counter("hmc_sweep_runs_completed_total")
-		trylocks := reg.Counter("hmc_sweep_trylocks_total")
-		stalls := reg.Counter("hmc_sweep_send_stalls_total")
-		lastThreads := reg.Gauge("hmc_sweep_last_threads")
-		progress = func(r hmcsim.MutexRun) {
-			runs.Inc()
-			trylocks.Add(r.Trylocks)
-			stalls.Add(r.SendStalls)
-			lastThreads.Set(int64(r.Threads))
-		}
-		ln, err := hmcsim.ServeMetrics(*listen, reg)
-		if err != nil {
+		progress = metricsflag.SweepProgress(reg)
+		if _, err := metricsFlags.Serve("hmc-mutex", reg); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "hmc-mutex: serving metrics at http://%s/\n", ln.Addr())
 	}
 
 	four, err := hmcsim.MutexSweepWithProgress(hmcsim.FourLink4GB(), *lo, *hi, *addr, *workers, progress, opts...)

@@ -1,0 +1,263 @@
+// Command hmcd-load is the session-server load generator: it opens a
+// many-thousand-session fleet against an hmcd endpoint (or an
+// in-process server, the default), drives every session through
+// timed operation rounds, and reports sessions/sec, ops/sec and exact
+// p50/p99 round-trip latency as a JSON benchmark record.
+//
+// Usage:
+//
+//	hmcd-load                                   # 10000 sessions, in-process server
+//	hmcd-load -sessions 25000 -rounds 5         # bigger fleet, more churn
+//	hmcd-load -net tcp -addr 127.0.0.1:7470     # against a running hmcd
+//	hmcd-load -net unix -addr /run/hmcd.sock
+//	hmcd-load -conns 8 -workers 64              # connection and driver fan-out
+//	hmcd-load -preset 2gb-dev -out load.json
+//
+// Each round issues one send + clock_until_recv + recv sequence per
+// session (three protocol round trips); the fleet stays fully open
+// from the first init to the final close, so the run demonstrates
+// sustained concurrent-session capacity, not just churn.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	hmcsim "repro"
+	_ "repro/cmcops"
+	"repro/internal/hmccmd"
+)
+
+type result struct {
+	Name         string  `json:"name"`
+	Sessions     int     `json:"sessions"`
+	Conns        int     `json:"conns"`
+	Workers      int     `json:"workers"`
+	Rounds       int     `json:"rounds"`
+	Preset       string  `json:"preset"`
+	Transport    string  `json:"transport"`
+	OpenSecs     float64 `json:"open_secs"`
+	SessionsPerS float64 `json:"sessions_per_sec"`
+	Ops          uint64  `json:"ops"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	P50Ns        int64   `json:"p50_ns"`
+	P99Ns        int64   `json:"p99_ns"`
+	MaxNs        int64   `json:"max_ns"`
+	CloseSecs    float64 `json:"close_secs"`
+	PeakHeap     uint64  `json:"peak_heap_bytes"`
+	HeapPerSess  uint64  `json:"heap_bytes_per_session"`
+}
+
+func main() {
+	sessions := flag.Int("sessions", 10000, "concurrent sessions to hold open")
+	rounds := flag.Int("rounds", 3, "timed operation rounds over the whole fleet")
+	conns := flag.Int("conns", 4, "client connections to spread sessions across")
+	workers := flag.Int("workers", 32, "driver goroutines")
+	preset := flag.String("preset", "2gb-dev", "device preset for every session")
+	network := flag.String("net", "", "endpoint network: tcp or unix (\"\" = in-process server)")
+	addr := flag.String("addr", "", "endpoint address for -net")
+	out := flag.String("out", "", "write the JSON record here (default stdout)")
+	flag.Parse()
+
+	transport := "inproc"
+	var clients []*hmcsim.SessionClient
+	if *network == "" {
+		srv := hmcsim.ServeSessions(hmcsim.SessionServerConfig{MaxSessions: *sessions + 16})
+		defer srv.Close()
+		for i := 0; i < *conns; i++ {
+			here, there := net.Pipe()
+			srv.ServeConn(there)
+			clients = append(clients, hmcsim.NewSessionClient(here))
+		}
+	} else {
+		transport = *network
+		for i := 0; i < *conns; i++ {
+			cl, err := hmcsim.DialSessions(*network, *addr)
+			if err != nil {
+				fatal(err)
+			}
+			clients = append(clients, cl)
+		}
+	}
+	defer func() {
+		for _, cl := range clients {
+			cl.Close()
+		}
+	}()
+
+	res := result{
+		Name:      "hmcd_load",
+		Sessions:  *sessions,
+		Conns:     *conns,
+		Workers:   *workers,
+		Rounds:    *rounds,
+		Preset:    *preset,
+		Transport: transport,
+	}
+
+	// Phase 1: open the whole fleet.
+	ids := make([]uint64, *sessions)
+	var heapBase uint64
+	{
+		var ms runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		heapBase = ms.HeapInuse
+	}
+	start := time.Now()
+	if err := fanout(*workers, *sessions, func(i int) error {
+		id, err := clients[i%len(clients)].Init(*preset)
+		if err != nil {
+			return fmt.Errorf("init %d: %w", i, err)
+		}
+		ids[i] = id
+		return nil
+	}); err != nil {
+		fatal(err)
+	}
+	res.OpenSecs = time.Since(start).Seconds()
+	res.SessionsPerS = float64(*sessions) / res.OpenSecs
+
+	// Phase 2: timed rounds — one send+clock_until_recv+recv sequence
+	// per session per round, latency sampled per protocol round trip.
+	lats := make([]int64, 0, 3*(*rounds)*(*sessions))
+	var latMu sync.Mutex
+	var ops atomic.Uint64
+	start = time.Now()
+	for r := 0; r < *rounds; r++ {
+		if err := fanout(*workers, *sessions, func(i int) error {
+			cl, sess := clients[i%len(clients)], ids[i]
+			local := make([]int64, 0, 3)
+			step := func(f func() error) error {
+				t0 := time.Now()
+				if err := f(); err != nil {
+					return err
+				}
+				local = append(local, time.Since(t0).Nanoseconds())
+				ops.Add(1)
+				return nil
+			}
+			tag := uint16(i%2000 + 1)
+			err := step(func() error {
+				acc, err := cl.Send(sess, 0, hmccmd.RD64.Code(), 0, uint64(i%512)*64, tag, nil)
+				if err != nil {
+					return err
+				}
+				if !acc {
+					return fmt.Errorf("session %d: stalled", sess)
+				}
+				return nil
+			})
+			if err == nil {
+				err = step(func() error {
+					_, avail, err := cl.ClockUntilRecv(sess, 1<<16)
+					if err == nil && !avail {
+						err = fmt.Errorf("session %d: no response in budget", sess)
+					}
+					return err
+				})
+			}
+			if err == nil {
+				err = step(func() error {
+					rsp, err := cl.Recv(sess, 0)
+					if err == nil && !rsp.Have {
+						err = fmt.Errorf("session %d: empty recv", sess)
+					}
+					return err
+				})
+			}
+			if err != nil {
+				return err
+			}
+			latMu.Lock()
+			lats = append(lats, local...)
+			latMu.Unlock()
+			return nil
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	opsSecs := time.Since(start).Seconds()
+	res.Ops = ops.Load()
+	res.OpsPerSec = float64(res.Ops) / opsSecs
+
+	{
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		res.PeakHeap = ms.HeapInuse
+		if ms.HeapInuse > heapBase && *sessions > 0 {
+			res.HeapPerSess = (ms.HeapInuse - heapBase) / uint64(*sessions)
+		}
+	}
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	if n := len(lats); n > 0 {
+		res.P50Ns = lats[n/2]
+		res.P99Ns = lats[n*99/100]
+		res.MaxNs = lats[n-1]
+	}
+
+	// Phase 3: close the fleet.
+	start = time.Now()
+	if err := fanout(*workers, *sessions, func(i int) error {
+		return clients[i%len(clients)].CloseSession(ids[i])
+	}); err != nil {
+		fatal(err)
+	}
+	res.CloseSecs = time.Since(start).Seconds()
+
+	enc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// fanout runs fn(0..n-1) across w goroutines, stopping at the first
+// error.
+func fanout(w, n int, fn func(int) error) error {
+	if w < 1 {
+		w = 1
+	}
+	var next atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || firstErr.Load() != nil {
+					return
+				}
+				if err := fn(i); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := firstErr.Load(); err != nil {
+		return err.(error)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hmcd-load:", err)
+	os.Exit(1)
+}

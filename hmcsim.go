@@ -43,6 +43,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/power"
+	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/span"
 	"repro/internal/topo"
@@ -418,3 +419,42 @@ var (
 	RefreshCRC = packet.RefreshCRC
 	ErrBadCRC  = packet.ErrBadCRC
 )
+
+// Simulator-as-a-service: the session server hosts fleets of
+// independent simulators behind a versioned line-delimited JSON
+// protocol over TCP and Unix sockets (cmd/hmcd is the daemon wrapper,
+// cmd/hmcd-load the load generator). See internal/server for the
+// protocol specification.
+type (
+	// SessionServer hosts concurrent simulator sessions; every session
+	// is pinned to one shard goroutine, so per-session requests
+	// serialize without locks while sessions execute concurrently.
+	SessionServer = server.Server
+	// SessionServerConfig parameterizes a SessionServer (shard count,
+	// session cap, idle TTL, batch limits, simulator pool size).
+	SessionServerConfig = server.Config
+	// SessionClient speaks the wire protocol; one client multiplexes
+	// any number of concurrent sessions over one connection.
+	SessionClient = server.Client
+	// SessionRequest and SessionResponse are the wire protocol's
+	// request and response shapes.
+	SessionRequest  = server.Request
+	SessionResponse = server.Response
+	// SessionOp enumerates the protocol operations.
+	SessionOp = server.Op
+)
+
+var (
+	// ServeSessions builds and starts a session server; attach
+	// listeners with its Serve/ServeConn methods.
+	ServeSessions = server.New
+	// DialSessions connects a SessionClient to an hmcd endpoint.
+	DialSessions = server.Dial
+	// NewSessionClient wraps an established connection (one end of a
+	// net.Pipe works for in-process use).
+	NewSessionClient = server.NewClient
+)
+
+// SessionProtocolVersion is the wire protocol version spoken by
+// SessionServer and SessionClient.
+const SessionProtocolVersion = server.Version

@@ -1,0 +1,118 @@
+// Package metricsflag wires the live-introspection flag (-listen)
+// shared by the serving CLIs, mirroring internal/spanflag for the span
+// family: one Register/Serve pair so every command exposes the same
+// /metrics, /debug/vars and /debug/pprof/ endpoint with the same help
+// text — plus the process-level graceful-shutdown hook (SIGINT/
+// SIGTERM) that closes the endpoint, and anything else registered,
+// before exit.
+package metricsflag
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Flags holds the parsed metrics-endpoint flag values.
+type Flags struct {
+	// Listen is the endpoint bind address ("" = endpoint disabled).
+	Listen string
+}
+
+// Register installs the flag on the default flag set. Call before
+// flag.Parse.
+func Register() *Flags {
+	f := &Flags{}
+	flag.StringVar(&f.Listen, "listen", "",
+		"serve the live introspection endpoint on this address (e.g. :8080)")
+	return f
+}
+
+// Serve starts the live introspection endpoint over reg when -listen
+// was given, prints the bound address to stderr under the program's
+// name, and registers the listener for graceful close on SIGINT/
+// SIGTERM. It returns the bound listener, or nil when the endpoint is
+// disabled.
+func (f *Flags) Serve(prog string, reg *metrics.Registry) (net.Listener, error) {
+	if f.Listen == "" {
+		return nil, nil
+	}
+	ln, err := metrics.Serve(f.Listen, reg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "%s: serving metrics at http://%s/\n", prog, ln.Addr())
+	OnShutdown(func() { ln.Close() })
+	return ln, nil
+}
+
+// SweepProgress registers the aggregate sweep-progress instruments on
+// reg and returns the per-run hook feeding them — the shared shape of
+// the sweep CLIs' live endpoints, which expose aggregate push counters
+// rather than registering each of a sweep's thousands of short-lived
+// simulators.
+func SweepProgress(reg *metrics.Registry) func(workload.MutexRun) {
+	runs := reg.Counter("hmc_sweep_runs_completed_total")
+	trylocks := reg.Counter("hmc_sweep_trylocks_total")
+	stalls := reg.Counter("hmc_sweep_send_stalls_total")
+	lastThreads := reg.Gauge("hmc_sweep_last_threads")
+	return func(r workload.MutexRun) {
+		runs.Inc()
+		trylocks.Add(r.Trylocks)
+		stalls.Add(r.SendStalls)
+		lastThreads.Set(int64(r.Threads))
+	}
+}
+
+var (
+	shutdownMu  sync.Mutex
+	shutdownFns []func()
+	shutdownOn  bool
+)
+
+// OnShutdown registers fn to run when the process receives SIGINT or
+// SIGTERM. The first signal runs every registered function in reverse
+// registration order (most recently acquired resource released first)
+// and exits with the conventional 128+signal status; a second signal
+// during that teardown force-exits immediately. Installing a handler
+// replaces Go's default die-on-signal behavior, so OnShutdown always
+// exits after the callbacks — callers register cleanups, not vetoes.
+func OnShutdown(fn func()) {
+	shutdownMu.Lock()
+	defer shutdownMu.Unlock()
+	shutdownFns = append(shutdownFns, fn)
+	if shutdownOn {
+		return
+	}
+	shutdownOn = true
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-ch
+		go func() {
+			<-ch // second signal: skip the graceful path
+			os.Exit(128 + signum(sig))
+		}()
+		shutdownMu.Lock()
+		fns := append([]func(){}, shutdownFns...)
+		shutdownMu.Unlock()
+		for i := len(fns) - 1; i >= 0; i-- {
+			fns[i]()
+		}
+		os.Exit(128 + signum(sig))
+	}()
+}
+
+func signum(sig os.Signal) int {
+	if s, ok := sig.(syscall.Signal); ok {
+		return int(s)
+	}
+	return 0
+}

@@ -1,0 +1,217 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Client speaks the line-JSON protocol over one connection. It is safe
+// for concurrent use: calls from many goroutines pipeline onto the
+// single connection and are demultiplexed by response id, so one Client
+// can drive thousands of sessions at once.
+type Client struct {
+	nc net.Conn
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+	enc []byte
+
+	nextID atomic.Uint64
+
+	pmu     sync.Mutex
+	pending map[uint64]chan Response
+	readErr error
+	dead    bool
+}
+
+// ErrClientClosed reports a call against a closed (or failed) client
+// connection.
+var ErrClientClosed = errors.New("server: client connection closed")
+
+// Dial connects a Client to an hmcd endpoint ("tcp", "host:port" or
+// "unix", "/path/sock").
+func Dial(network, addr string) (*Client, error) {
+	nc, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(nc), nil
+}
+
+// NewClient wraps an established connection (one end of a net.Pipe
+// works for in-process use) and starts its response reader.
+func NewClient(nc net.Conn) *Client {
+	c := &Client{
+		nc:      nc,
+		bw:      bufio.NewWriterSize(nc, 16<<10),
+		pending: make(map[uint64]chan Response),
+	}
+	go c.readLoop()
+	return c
+}
+
+// Close tears the connection down; in-flight calls fail with
+// ErrClientClosed.
+func (c *Client) Close() error { return c.nc.Close() }
+
+func (c *Client) readLoop() {
+	sc := bufio.NewScanner(c.nc)
+	sc.Buffer(make([]byte, 4096), 1<<20)
+	for sc.Scan() {
+		var rsp Response
+		if err := json.Unmarshal(sc.Bytes(), &rsp); err != nil {
+			c.fail(fmt.Errorf("server: undecodable response: %w", err))
+			return
+		}
+		c.pmu.Lock()
+		ch := c.pending[rsp.ID]
+		delete(c.pending, rsp.ID)
+		c.pmu.Unlock()
+		if ch != nil {
+			ch <- rsp
+		}
+	}
+	err := sc.Err()
+	if err == nil {
+		err = ErrClientClosed
+	}
+	c.fail(err)
+}
+
+// fail poisons the client: every waiter (current and future) gets err.
+func (c *Client) fail(err error) {
+	c.pmu.Lock()
+	c.dead = true
+	c.readErr = err
+	pend := c.pending
+	c.pending = nil
+	c.pmu.Unlock()
+	c.nc.Close()
+	for _, ch := range pend {
+		close(ch)
+	}
+}
+
+// Do executes one request synchronously: it assigns the id, writes the
+// line, and waits for the matching response. A response with ok=false
+// is returned as a *ProtocolError (the Response travels with it).
+func (c *Client) Do(op Op, req Request) (Response, error) {
+	req.ID = c.nextID.Add(1)
+	ch := make(chan Response, 1)
+
+	c.pmu.Lock()
+	if c.dead {
+		err := c.readErr
+		c.pmu.Unlock()
+		return Response{}, err
+	}
+	c.pending[req.ID] = ch
+	c.pmu.Unlock()
+
+	c.wmu.Lock()
+	c.enc = AppendRequest(c.enc[:0], op, &req)
+	_, werr := c.bw.Write(c.enc)
+	if werr == nil {
+		werr = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if werr != nil {
+		c.pmu.Lock()
+		delete(c.pending, req.ID)
+		c.pmu.Unlock()
+		return Response{}, werr
+	}
+
+	rsp, ok := <-ch
+	if !ok {
+		c.pmu.Lock()
+		err := c.readErr
+		c.pmu.Unlock()
+		return Response{}, err
+	}
+	if !rsp.OK {
+		return rsp, &ProtocolError{Code: rsp.Code, Msg: rsp.Err}
+	}
+	return rsp, nil
+}
+
+// ProtocolError is a server-reported failure (ok=false response).
+type ProtocolError struct {
+	Code string
+	Msg  string
+}
+
+func (e *ProtocolError) Error() string { return e.Code + ": " + e.Msg }
+
+// Init opens a session on a named preset and returns its handle.
+func (c *Client) Init(preset string) (uint64, error) {
+	rsp, err := c.Do(OpInit, Request{Preset: preset})
+	if err != nil {
+		return 0, err
+	}
+	return rsp.Sess, nil
+}
+
+// Send submits one request packet; accepted=false is HMC_STALL (clock
+// and retry).
+func (c *Client) Send(sess uint64, link int, cmd uint8, cub int, adrs uint64, tag uint16, payload []uint64) (accepted bool, err error) {
+	rsp, err := c.Do(OpSend, Request{Sess: sess, Link: link, Cmd: cmd, Cub: cub, Adrs: adrs, Tag: tag, Payload: payload})
+	if err != nil {
+		return false, err
+	}
+	return rsp.Accepted, nil
+}
+
+// Recv polls one host link for a response packet.
+func (c *Client) Recv(sess uint64, link int) (Response, error) {
+	return c.Do(OpRecv, Request{Sess: sess, Link: link})
+}
+
+// Clock advances the session one device cycle.
+func (c *Client) Clock(sess uint64) (cycle uint64, err error) {
+	rsp, err := c.Do(OpClock, Request{Sess: sess})
+	return rsp.Cycle, err
+}
+
+// ClockN advances the session n device cycles in one round trip.
+func (c *Client) ClockN(sess uint64, n uint64) (cycle uint64, err error) {
+	rsp, err := c.Do(OpClockN, Request{Sess: sess, N: n})
+	return rsp.Cycle, err
+}
+
+// ClockUntilRecv clocks until a response is pending or budget cycles
+// pass, reporting the cycles consumed and whether a recv would succeed.
+func (c *Client) ClockUntilRecv(sess uint64, budget uint64) (advanced uint64, avail bool, err error) {
+	rsp, err := c.Do(OpClockUntilRecv, Request{Sess: sess, Budget: budget})
+	return rsp.Advanced, rsp.Avail, err
+}
+
+// LoadCMC binds a registered CMC operation into the session
+// (idempotent per session).
+func (c *Client) LoadCMC(sess uint64, name string) error {
+	_, err := c.Do(OpLoadCMC, Request{Sess: sess, Name: name})
+	return err
+}
+
+// Reset rewinds the session to cycle zero in place.
+func (c *Client) Reset(sess uint64) error {
+	_, err := c.Do(OpReset, Request{Sess: sess})
+	return err
+}
+
+// Stats snapshots the session's per-device statistics.
+func (c *Client) Stats(sess uint64) (Response, error) {
+	return c.Do(OpStats, Request{Sess: sess})
+}
+
+// CloseSession releases the session; its simulator returns to the
+// server's pool.
+func (c *Client) CloseSession(sess uint64) error {
+	_, err := c.Do(OpClose, Request{Sess: sess})
+	return err
+}

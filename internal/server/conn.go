@@ -1,0 +1,187 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/packet"
+)
+
+// conn is one client connection. The reader goroutine decodes request
+// lines and routes them to shards; the writer goroutine owns the socket
+// write side, batching queued responses and flushing when the queue
+// drains. Responses travel reader→shard→out-channel→writer, so a shard
+// never blocks on a slow socket: if out fills up (ConnWriteDepth
+// pipelined responses unread), the connection is dropped instead.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	out chan []byte
+
+	// pending counts requests routed to shards whose responses have
+	// not yet been handed to the writer; the conn dies only after the
+	// last one lands (a half-closed client still gets its answers).
+	pending    atomic.Int64
+	readerDone atomic.Bool
+	dead       atomic.Bool
+	dropOnce   sync.Once
+	done       chan struct{}
+}
+
+// drop marks the connection dead and wakes both loops: the deadline
+// unblocks any in-flight Read/Write, and done tells the writer to
+// flush what it has and close the socket. Idempotent.
+func (c *conn) drop() {
+	c.dropOnce.Do(func() {
+		c.dead.Store(true)
+		c.nc.SetDeadline(time.Unix(0, 0))
+		close(c.done)
+	})
+}
+
+// send hands an encoded response to the writer. It never blocks: a
+// full queue means the client stopped reading, and the connection is
+// dropped rather than allowed to wedge the shard that produced buf.
+func (c *conn) send(buf []byte) {
+	if c.dead.Load() {
+		putBuf(buf)
+		return
+	}
+	select {
+	case c.out <- buf:
+	default:
+		c.srv.met.connsDropped.Inc()
+		c.drop()
+		putBuf(buf)
+	}
+}
+
+func (c *conn) readLoop() {
+	defer func() {
+		c.readerDone.Store(true)
+		if c.pending.Load() == 0 {
+			c.drop()
+		}
+		c.srv.connWG.Done()
+	}()
+	sc := bufio.NewScanner(c.nc)
+	sc.Buffer(make([]byte, 4096), c.srv.cfg.MaxLineBytes)
+	nshards := uint64(len(c.srv.shards))
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		req := getRequest()
+		op, err := DecodeRequest(line, req)
+		if err != nil {
+			c.srv.met.protoErrs.Inc()
+			c.sendError(req.ID, err.Error())
+			putRequest(req)
+			continue
+		}
+		if op == OpInit {
+			// The session id is minted here so the reader alone decides
+			// the owning shard; the shard fills in the rest.
+			req.Sess = c.srv.nextSess.Add(1)
+		}
+		c.pending.Add(1)
+		// Blocking send: shard backlog is the protocol's backpressure.
+		// Shards drain their channels until Server.Close closes them,
+		// which happens only after every reader has exited.
+		c.srv.shards[req.Sess%nshards].ch <- task{op: op, req: req, c: c}
+	}
+	// Scanner stops on EOF, a dead connection, or an oversized line; an
+	// oversized line cannot be re-synchronized, so the conn ends there.
+	if sc.Err() != nil && !c.dead.Load() {
+		c.srv.met.protoErrs.Inc()
+		c.sendError(0, sc.Err().Error())
+	}
+}
+
+// sendError emits a bad_request response from the reader itself —
+// malformed lines never reach a shard.
+func (c *conn) sendError(id uint64, msg string) {
+	code := CodeBadRequest
+	if i := strings.IndexByte(msg, ':'); i > 0 {
+		switch msg[:i] {
+		case CodeUnknownOp:
+			code = CodeUnknownOp
+		case CodeBadVersion:
+			code = CodeBadVersion
+		}
+	}
+	rsp := Response{ID: id, Err: msg, Code: code}
+	c.send(AppendResponse(getBuf(), 0, &rsp))
+}
+
+func (c *conn) writeLoop() {
+	defer c.srv.connWG.Done()
+	defer c.srv.forget(c)
+	bw := bufio.NewWriterSize(c.nc, 16<<10)
+	broken := false
+	for {
+		select {
+		case buf := <-c.out:
+			c.writeOne(bw, buf, &broken)
+			if len(c.out) == 0 && !broken {
+				if err := bw.Flush(); err != nil {
+					broken = true
+					c.drop()
+				}
+			}
+		case <-c.done:
+			for {
+				select {
+				case buf := <-c.out:
+					c.writeOne(bw, buf, &broken)
+				default:
+					if !broken {
+						bw.Flush()
+					}
+					c.nc.Close()
+					return
+				}
+			}
+		}
+	}
+}
+
+func (c *conn) writeOne(bw *bufio.Writer, buf []byte, broken *bool) {
+	if !*broken {
+		if _, err := bw.Write(buf); err != nil {
+			*broken = true
+			c.drop()
+		}
+	}
+	putBuf(buf)
+}
+
+// Request and response-buffer pools: the hot path (decode → exec →
+// encode → write) recycles both, so a warmed-up server allocates
+// nothing per operation beyond what the simulator itself does.
+var reqPool = sync.Pool{
+	New: func() any {
+		return &Request{Payload: make([]uint64, 0, packet.MaxPayloadWords)}
+	},
+}
+
+func getRequest() *Request  { return reqPool.Get().(*Request) }
+func putRequest(r *Request) { reqPool.Put(r) }
+
+var bufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 512); return &b },
+}
+
+func getBuf() []byte { return (*bufPool.Get().(*[]byte))[:0] }
+func putBuf(b []byte) {
+	if cap(b) > 1<<20 {
+		return // oversized one-offs (stats on big fleets) are not retained
+	}
+	bufPool.Put(&b)
+}

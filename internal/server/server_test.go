@@ -1,0 +1,401 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	_ "repro/cmcops"
+	"repro/internal/hmccmd"
+)
+
+// newTestPair builds a started server and a connected client over an
+// in-process pipe, torn down with the test.
+func newTestPair(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	srv := New(cfg)
+	here, there := net.Pipe()
+	srv.ServeConn(there)
+	cl := NewClient(here)
+	t.Cleanup(func() {
+		cl.Close()
+		srv.Close()
+	})
+	return srv, cl
+}
+
+func wantCode(t *testing.T, err error, code string) {
+	t.Helper()
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v, want protocol error with code %s", err, code)
+	}
+	if pe.Code != code {
+		t.Fatalf("code %s (%s), want %s", pe.Code, pe.Msg, code)
+	}
+}
+
+// TestSessionLifecycle walks one session through every operation.
+func TestSessionLifecycle(t *testing.T) {
+	srv, cl := newTestPair(t, Config{Shards: 2})
+
+	sess, err := cl.Init("4link-4gb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.ActiveSessions() != 1 {
+		t.Fatalf("active = %d, want 1", srv.ActiveSessions())
+	}
+
+	// A read round trip: send, run the clock to completion, receive.
+	acc, err := cl.Send(sess, 0, hmccmd.RD64.Code(), 0, 0x1000, 5, nil)
+	if err != nil || !acc {
+		t.Fatalf("send: accepted=%v err=%v", acc, err)
+	}
+	adv, avail, err := cl.ClockUntilRecv(sess, 4096)
+	if err != nil || !avail {
+		t.Fatalf("clock_until_recv: adv=%d avail=%v err=%v", adv, avail, err)
+	}
+	rsp, err := cl.Recv(sess, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdRS, _ := hmccmd.RdRS.Code()
+	if !rsp.Have || rsp.Tag != 5 || rsp.Cmd != rdRS {
+		t.Fatalf("recv = %+v, want RD_RS tag 5", rsp)
+	}
+	if len(rsp.Payload) != 8 {
+		t.Fatalf("RD64 payload %d words, want 8", len(rsp.Payload))
+	}
+
+	// CMC load is idempotent per session.
+	if err := cl.LoadCMC(sess, "hmc_lock"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.LoadCMC(sess, "hmc_lock"); err != nil {
+		t.Fatalf("reload of bound op: %v", err)
+	}
+	wantCode(t, cl.LoadCMC(sess, "no_such_op"), CodeSim)
+
+	// Stats reflect the traffic so far.
+	st, err := cl.Stats(sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Devices) != 1 || st.Devices[0].Rsps != 1 {
+		t.Fatalf("stats = %+v, want one device with one response", st.Devices)
+	}
+	if st.Cycle == 0 || st.Cycle != st.Devices[0].Cycles {
+		t.Fatalf("cycle %d disagrees with device cycles %d", st.Cycle, st.Devices[0].Cycles)
+	}
+
+	// Reset rewinds to cycle zero with the CMC table intact.
+	if err := cl.Reset(sess); err != nil {
+		t.Fatal(err)
+	}
+	if cyc, err := cl.Clock(sess); err != nil || cyc != 1 {
+		t.Fatalf("clock after reset: cycle=%d err=%v", cyc, err)
+	}
+	st, err = cl.Stats(sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Devices[0].Rsps != 0 {
+		t.Fatalf("stats after reset = %+v, want zeroed", st.Devices[0])
+	}
+
+	// Close kills the handle; the id never comes back.
+	if err := cl.CloseSession(sess); err != nil {
+		t.Fatal(err)
+	}
+	if srv.ActiveSessions() != 0 {
+		t.Fatalf("active = %d after close, want 0", srv.ActiveSessions())
+	}
+	_, err = cl.Clock(sess)
+	wantCode(t, err, CodeNoSession)
+	wantCode(t, cl.CloseSession(sess), CodeNoSession)
+}
+
+// TestInitErrors covers preset and capacity failures.
+func TestInitErrors(t *testing.T) {
+	srv, cl := newTestPair(t, Config{Shards: 1, MaxSessions: 2})
+
+	_, err := cl.Init("16link-1tb")
+	wantCode(t, err, CodeBadPreset)
+
+	a, err := cl.Init("2gb-dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Init("2GBDev"); err != nil { // same preset, spelled differently
+		t.Fatal(err)
+	}
+	_, err = cl.Init("2gb-dev")
+	wantCode(t, err, CodeSessionLimit)
+
+	// Freeing one slot re-admits an init.
+	if err := cl.CloseSession(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Init("2gb-dev"); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Metrics().Lookup("hmc_server_sessions_opened_total").Number(); got != 3 {
+		t.Errorf("sessions_opened = %v, want 3", got)
+	}
+}
+
+// TestBatchLimits pins the per-request clock caps.
+func TestBatchLimits(t *testing.T) {
+	_, cl := newTestPair(t, Config{Shards: 1, MaxClockBatch: 100, MaxRecvBudget: 50})
+	sess, err := cl.Init("2gb-dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.ClockN(sess, 100); err != nil {
+		t.Fatal(err)
+	}
+	_, err = cl.ClockN(sess, 101)
+	wantCode(t, err, CodeLimit)
+	_, _, err = cl.ClockUntilRecv(sess, 51)
+	wantCode(t, err, CodeLimit)
+	// Failed requests leave the session untouched.
+	if cyc, err := cl.Clock(sess); err != nil || cyc != 101 {
+		t.Fatalf("cycle=%d err=%v, want 101", cyc, err)
+	}
+}
+
+// TestSendValidation covers simulator-level send refusals.
+func TestSendValidation(t *testing.T) {
+	_, cl := newTestPair(t, Config{Shards: 1})
+	sess, err := cl.Init("2gb-dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cl.Send(sess, 0, 255, 0, 0, 1, nil) // unassigned command code
+	wantCode(t, err, CodeSim)
+	_, err = cl.Send(sess, 99, hmccmd.RD64.Code(), 0, 0, 1, nil) // bad link
+	wantCode(t, err, CodeSim)
+	_, err = cl.Send(sess, 0, hmccmd.WR64.Code(), 0, 0, 1, []uint64{1, 2}) // short payload
+	wantCode(t, err, CodeSim)
+	_, err = cl.Send(sess, 0, hmccmd.RD64.Code(), 7, 0, 1, nil) // bad cube
+	wantCode(t, err, CodeSim)
+}
+
+// TestPooledSimulatorScrubbed pins the reuse contract: a simulator
+// released by one session comes back CMC-clean for the next — reloading
+// the same op succeeds (a dirty table would answer ErrSlotBusy) and the
+// statistics restart from zero.
+func TestPooledSimulatorScrubbed(t *testing.T) {
+	srv, cl := newTestPair(t, Config{Shards: 1})
+	sess, err := cl.Init("2gb-dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.LoadCMC(sess, "hmc_lock"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.ClockN(sess, 32); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.CloseSession(sess); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Metrics().Lookup("hmc_server_pool_idle").Number(); got != 1 {
+		t.Fatalf("pool_idle = %v, want 1", got)
+	}
+
+	sess2, err := cl.Init("2gb-dev") // pops the pooled simulator
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.LoadCMC(sess2, "hmc_lock"); err != nil {
+		t.Fatalf("reload on pooled simulator: %v", err)
+	}
+	st, err := cl.Stats(sess2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycle != 0 || st.Devices[0].Cycles != 0 {
+		t.Fatalf("pooled simulator not reset: %+v", st)
+	}
+}
+
+// TestIdleEviction pins the TTL sweep: an untouched session dies, an
+// active one survives, and eviction is indistinguishable from close.
+func TestIdleEviction(t *testing.T) {
+	srv, cl := newTestPair(t, Config{Shards: 1, IdleTTL: 80 * time.Millisecond, SweepEvery: 10 * time.Millisecond})
+	idle, err := cl.Init("2gb-dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy, err := cl.Init("2gb-dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := cl.Clock(busy); err != nil {
+			t.Fatalf("busy session died: %v", err)
+		}
+		if srv.ActiveSessions() == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("idle session never evicted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	_, err = cl.Clock(idle)
+	wantCode(t, err, CodeNoSession)
+	if got := srv.Metrics().Lookup("hmc_server_sessions_evicted_total").Number(); got != 1 {
+		t.Errorf("evictions = %v, want 1", got)
+	}
+}
+
+// TestSmoke500Sessions is the CI loopback smoke: 500 concurrent
+// sessions on one connection, each driven through a full
+// send/clock/recv/stats round and closed, with eight goroutines
+// sharing the client.
+func TestSmoke500Sessions(t *testing.T) {
+	srv, cl := newTestPair(t, Config{})
+	const sessions = 500
+	ids := make([]uint64, sessions)
+	for i := range ids {
+		id, err := cl.Init("2gb-dev")
+		if err != nil {
+			t.Fatalf("init %d: %v", i, err)
+		}
+		ids[i] = id
+	}
+	if srv.ActiveSessions() != sessions {
+		t.Fatalf("active = %d, want %d", srv.ActiveSessions(), sessions)
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, sessions)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < sessions; i += 8 {
+				sess := ids[i]
+				if err := func() error {
+					acc, err := cl.Send(sess, i%2, hmccmd.RD32.Code(), 0, uint64(i)*64, uint16(i%100+1), nil)
+					if err != nil {
+						return err
+					}
+					if !acc {
+						return fmt.Errorf("session %d: unexpected stall", sess)
+					}
+					if _, avail, err := cl.ClockUntilRecv(sess, 8192); err != nil {
+						return err
+					} else if !avail {
+						return fmt.Errorf("session %d: no response within budget", sess)
+					}
+					rsp, err := cl.Recv(sess, i%2)
+					if err != nil {
+						return err
+					}
+					if !rsp.Have || rsp.Tag != uint16(i%100+1) {
+						return fmt.Errorf("session %d: recv %+v", sess, rsp)
+					}
+					st, err := cl.Stats(sess)
+					if err != nil {
+						return err
+					}
+					if st.Devices[0].Rsps != 1 {
+						return fmt.Errorf("session %d: stats %+v", sess, st.Devices[0])
+					}
+					return cl.CloseSession(sess)
+				}(); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if srv.ActiveSessions() != 0 {
+		t.Fatalf("active = %d after churn, want 0", srv.ActiveSessions())
+	}
+	if got := srv.Metrics().Lookup("hmc_server_sessions_closed_total").Number(); got != sessions {
+		t.Errorf("sessions_closed = %v, want %d", got, sessions)
+	}
+}
+
+// TestTCPAndUnixTransports exercises the real listeners end to end.
+func TestTCPAndUnixTransports(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+
+	tln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock := t.TempDir() + "/hmcd.sock"
+	uln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(tln)
+	go srv.Serve(uln)
+
+	for _, ep := range []struct{ network, addr string }{
+		{"tcp", tln.Addr().String()},
+		{"unix", sock},
+	} {
+		cl, err := Dial(ep.network, ep.addr)
+		if err != nil {
+			t.Fatalf("%s: %v", ep.network, err)
+		}
+		sess, err := cl.Init("2gb-dev")
+		if err != nil {
+			t.Fatalf("%s init: %v", ep.network, err)
+		}
+		if cyc, err := cl.ClockN(sess, 16); err != nil || cyc != 16 {
+			t.Fatalf("%s clockn: cycle=%d err=%v", ep.network, cyc, err)
+		}
+		if err := cl.CloseSession(sess); err != nil {
+			t.Fatalf("%s close: %v", ep.network, err)
+		}
+		cl.Close()
+	}
+}
+
+// TestServerCloseReleasesSessions shuts down with live sessions and
+// in-flight clients; everything must unwind without hanging.
+func TestServerCloseReleasesSessions(t *testing.T) {
+	srv := New(Config{Shards: 2})
+	here, there := net.Pipe()
+	srv.ServeConn(there)
+	cl := NewClient(here)
+	for i := 0; i < 10; i++ {
+		if _, err := cl.Init("2gb-dev"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Close()
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server close hung with live sessions")
+	}
+	if _, err := cl.Init("2gb-dev"); err == nil {
+		t.Fatal("init succeeded after server close")
+	}
+	if srv.Close() != nil {
+		t.Fatal("second close errored")
+	}
+}

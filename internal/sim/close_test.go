@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/hmccmd"
+)
+
+// TestCloseIdempotentConcurrentRecv pins the Close contract the
+// session server's eviction path depends on: Close may be called
+// repeatedly, from several goroutines at once, and concurrently with a
+// pending Recv on another goroutine — without a data race (this test
+// is in the CI -race set) and without disturbing the response stream.
+func TestCloseIdempotentConcurrentRecv(t *testing.T) {
+	s, err := New(config.TwoGBDev(), WithParallelClock(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load every vault so the execute phase actually engages the worker
+	// pool (above the fan-out threshold) and Close has pools to release.
+	var scratch ReqScratch
+	cfg := s.Config()
+	tag := uint16(1)
+	for v := 0; v < cfg.Vaults; v++ {
+		adrs := uint64(v) * uint64(cfg.MaxBlockSize)
+		r, err := scratch.BuildRead(0, adrs, tag, int(tag)%cfg.Links, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Send(int(r.SLID), r); err != nil {
+			t.Fatal(err)
+		}
+		tag++
+	}
+	for i := 0; i < 4; i++ {
+		s.Clock()
+	}
+
+	// One goroutine drains responses while four more race Close calls.
+	var wg sync.WaitGroup
+	got := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for spin := 0; spin < 1_000_000 && got < cfg.Vaults; spin++ {
+			for l := 0; l < cfg.Links; l++ {
+				if rsp, ok := s.Recv(l); ok {
+					if rsp.Cmd != hmccmd.RdRS {
+						t.Errorf("unexpected response %v", rsp.Cmd)
+					}
+					ReleaseRsp(rsp)
+					got++
+				}
+			}
+		}
+	}()
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Close()
+			s.Close()
+		}()
+	}
+	wg.Wait()
+
+	// The simulator must remain fully usable after Close: serial
+	// clocking drains the remaining in-flight requests.
+	for c := 0; c < 4096 && got < cfg.Vaults; c++ {
+		s.Clock()
+		for l := 0; l < cfg.Links; l++ {
+			for {
+				rsp, ok := s.Recv(l)
+				if !ok {
+					break
+				}
+				ReleaseRsp(rsp)
+				got++
+			}
+		}
+	}
+	if got != cfg.Vaults {
+		t.Fatalf("drained %d responses, want %d", got, cfg.Vaults)
+	}
+	s.Close()
+}
+
+// TestScratchBuildGeneric pins the generic builder against the shaped
+// ones: for every architected command class and a CMC slot, Build
+// produces the same request the shaped builder does, and rejects
+// payloads that disagree with the command's architected length.
+func TestScratchBuildGeneric(t *testing.T) {
+	var a, b ReqScratch
+
+	ra, err := a.BuildRead(0, 0x1000, 7, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Build(hmccmd.RD64, 0, 0x1000, 7, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Cmd != rb.Cmd || ra.ADRS != rb.ADRS || ra.TAG != rb.TAG ||
+		ra.SLID != rb.SLID || len(rb.Payload) != 0 {
+		t.Errorf("generic RD64 = %+v, want %+v", rb, ra)
+	}
+
+	data := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	ra, err = a.BuildWrite(0, 0x40, 3, 0, data, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err = b.Build(hmccmd.WR64, 0, 0x40, 3, 0, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Cmd != rb.Cmd || ra.LNG != rb.LNG || len(ra.Payload) != len(rb.Payload) {
+		t.Errorf("generic WR64 = %+v, want %+v", rb, ra)
+	}
+
+	rb, err = b.Build(hmccmd.CMC125, 0, 0x40, 3, 0, []uint64{9, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.LNG != 2 {
+		t.Errorf("CMC 2-word payload LNG = %d, want 2", rb.LNG)
+	}
+
+	if _, err := b.Build(hmccmd.WR64, 0, 0, 0, 0, data[:4]); err == nil {
+		t.Error("short WR64 payload accepted")
+	}
+	if _, err := b.Build(hmccmd.CMC125, 0, 0, 0, 0, data[:3]); err == nil {
+		t.Error("odd CMC payload accepted")
+	}
+	if _, err := b.Build(hmccmd.Rqst(hmccmd.NumRqst), 0, 0, 0, 0, nil); err == nil {
+		t.Error("invalid command accepted")
+	}
+}

@@ -155,6 +155,11 @@ type Simulator struct {
 	spans     *span.Tracer
 	cycle     uint64
 
+	// closeMu serializes Close against itself: the session server's
+	// idle-eviction sweep closes simulators from a goroutine that may
+	// race another closer (double eviction, eviction vs client close).
+	closeMu sync.Mutex
+
 	// Wire-level scratch: SendWire decodes into wireRqst (adopted by the
 	// device before SendWire returns); RecvWire encodes into wire, which
 	// is retained and reused across calls.
@@ -355,8 +360,18 @@ func Reusable(opts ...Option) bool {
 // simulator remains fully usable afterwards (reports, stats, even
 // further clocking, which falls back to serial until a parallel cycle
 // restarts a pool); Close exists so drivers that build many simulators
-// (sweeps) do not accumulate parked goroutines. Idempotent.
-func (s *Simulator) Close() { s.topo.Close() }
+// (sweeps) do not accumulate parked goroutines.
+//
+// Close is idempotent and safe to call concurrently with itself and
+// with a pending Recv/RecvWire on another goroutine — the session
+// server's eviction sweep relies on both. It is NOT safe concurrently
+// with Clock (closing mid-cycle would tear the pool out from under the
+// barrier); quiesce clocking first, as every shipped driver does.
+func (s *Simulator) Close() {
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	s.topo.Close()
+}
 
 // Send submits a request on a host link (hmcsim_send); the request's CUB
 // field selects the target cube. A full link queue returns
@@ -671,6 +686,30 @@ func (s *ReqScratch) BuildAtomic(cmd hmccmd.Rqst, cub int, adrs uint64, tag uint
 	}
 	if want := 2 * (int(info.RqstFlits) - 1); len(payload) != want {
 		return nil, fmt.Errorf("sim: %s payload %d words, want %d", info.Name, len(payload), want)
+	}
+	return s.fill(cmd, cub, adrs, tag, link, 0, payload), nil
+}
+
+// Build is the generic scratch builder: any valid request command with
+// an explicit payload — the injection shape of a protocol frontend
+// that receives (command code, address, payload) over the wire rather
+// than choosing a command from an operation kind. Architected commands
+// validate the payload against the command's registered request
+// length; CMC slots accept any whole-FLIT payload (the bound
+// operation's own length check applies at execution), matching
+// BuildCMC.
+func (s *ReqScratch) Build(cmd hmccmd.Rqst, cub int, adrs uint64, tag uint16, link int, payload []uint64) (*packet.Rqst, error) {
+	if !cmd.Valid() {
+		return nil, fmt.Errorf("sim: invalid request command %v", cmd)
+	}
+	if len(payload)%2 != 0 {
+		return nil, fmt.Errorf("sim: payload must be whole FLITs, got %d words", len(payload))
+	}
+	if cmd.IsCMC() {
+		return s.fill(cmd, cub, adrs, tag, link, uint8(1+len(payload)/2), payload), nil
+	}
+	if want := 2 * (int(cmd.InfoRef().RqstFlits) - 1); len(payload) != want {
+		return nil, fmt.Errorf("sim: %s payload %d words, want %d", cmd, len(payload), want)
 	}
 	return s.fill(cmd, cub, adrs, tag, link, 0, payload), nil
 }

@@ -1,0 +1,10 @@
+//go:build !race
+
+package workload
+
+// raceEnabled reports whether the race detector is compiled in. The
+// allocation-pinning tests skip under -race: race instrumentation
+// allocates shadow state on paths that are allocation-free in a normal
+// build, so the pins would fail for reasons unrelated to the code under
+// test. CI runs them in a separate non-race invocation.
+const raceEnabled = false

@@ -33,6 +33,11 @@ import (
 type Session struct {
 	sim  *sim.Simulator
 	used bool
+	// cfg and poolable support SessionPool recycling: only option-free
+	// Sessions can be pooled (options are opaque closures a later Get
+	// could not be matched against).
+	cfg      config.Config
+	poolable bool
 	// cmc lists operation names already loaded into the simulator's CMC
 	// tables (Load rejects duplicates; the list is a handful of entries,
 	// so a linear scan beats a map).
@@ -59,7 +64,7 @@ func NewSession(cfg config.Config, opts ...sim.Option) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{sim: s}, nil
+	return &Session{sim: s, cfg: cfg, poolable: poolableOptions(opts)}, nil
 }
 
 // Sim exposes the underlying simulator (post-run reports, JTAG pokes).

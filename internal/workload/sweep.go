@@ -166,12 +166,22 @@ func MutexSweepWithProgress(cfg config.Config, lo, hi int, lockAddr uint64, work
 	}
 	var runs []MutexRun
 	var err error
-	if sim.Reusable(opts...) {
+	switch {
+	case poolableOptions(opts):
+		// Option-free sweeps draw their per-worker Sessions from the
+		// shared pool, so repeated sweeps reuse simulators instead of
+		// rebuilding one fleet each — the residual per-sweep allocation
+		// (97% of it was device.New) goes to zero after warmup.
+		runs, err = RunIndexedPooled(workers, n,
+			func() (*Session, error) { return sweepSessions.Get(cfg) },
+			point,
+			func(ss *Session) { sweepSessions.Put(ss) })
+	case sim.Reusable(opts...):
 		runs, err = RunIndexedPooled(workers, n,
 			func() (*Session, error) { return NewSession(cfg, opts...) },
 			point,
 			func(ss *Session) { ss.Close() })
-	} else {
+	default:
 		runs, err = RunIndexed(workers, n, func(i int) (MutexRun, error) {
 			return point(nil, i)
 		})

@@ -56,7 +56,21 @@ go test -run '^$' \
     -benchmem -benchtime 1s -cpu 1 . \
     | sed 's|^\(Benchmark[^ 	]*\)|\1/cpu1|' | tee -a "$raw"
 
-awk -v date="$date" -v gomaxprocs="$gomaxprocs" -v numcpu="$numcpu" '
+# Session-server hot paths: one protocol round trip against a warm
+# session, a full send/clock/recv request cycle, and pooled
+# init+close session churn.
+go test -run '^$' \
+    -bench 'BenchmarkServerOpRoundTrip|BenchmarkServerSendRecvRoundTrip|BenchmarkServerSessionChurn' \
+    -benchmem -benchtime 1s ./internal/server | tee -a "$raw"
+
+# The many-thousand-session load harness: 10k concurrent sessions on an
+# in-process server, sessions/sec, ops/sec and exact p50/p99 latency.
+# Its record rides in the BENCH json under "hmcd_load".
+loadraw="$(mktemp)"
+trap 'rm -f "$raw" "$loadraw"' EXIT
+go run ./cmd/hmcd-load -sessions 10000 -rounds 2 -out "$loadraw"
+
+awk -v date="$date" -v gomaxprocs="$gomaxprocs" -v numcpu="$numcpu" -v loadfile="$loadraw" '
   /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
     ns = ""; bytes = ""; allocs = ""; pts = ""; cyc = ""
@@ -79,7 +93,14 @@ awk -v date="$date" -v gomaxprocs="$gomaxprocs" -v numcpu="$numcpu" '
   END {
     printf "{\n  \"date\": \"%s\",\n  \"gomaxprocs\": %d,\n  \"numcpu\": %d,\n  \"benchmarks\": [\n", date, gomaxprocs, numcpu
     for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "")
-    printf "  ]\n}\n"
+    printf "  ]"
+    if (loadfile != "" && (getline firstline < loadfile) > 0) {
+      printf ",\n  \"hmcd_load\": %s\n", firstline
+      while ((getline l < loadfile) > 0) printf "  %s\n", l
+      printf "}\n"
+    } else {
+      printf "\n}\n"
+    }
   }
 ' "$raw" > "$out"
 

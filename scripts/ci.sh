@@ -15,8 +15,13 @@ set -eux
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/device ./internal/fault ./internal/mem ./internal/metrics ./internal/sim ./internal/span ./internal/topo ./internal/workload
+go test -race ./internal/device ./internal/fault ./internal/mem ./internal/metrics ./internal/server ./internal/sim ./internal/span ./internal/topo ./internal/workload
 go test -race -run 'TestParallelClock|TestClockModeEquivalence|TestSerialPooledWorkloadEquivalence|TestEventClock|TestSpans' .
+# Session-server gate: the 500-session loopback smoke (concurrent
+# clients churning a full fleet over one connection) and the wire
+# equivalence suite (bit-identical stats and response streams between
+# wire-driven and in-process sessions).
+go test -run 'TestSmoke500Sessions|TestWireEquivalence' -count=1 ./internal/server
 # Allocation-regression gate: every pin that asserts a hot path stays
 # allocation-free (the pins skip themselves under -race, so this is a
 # separate non-race invocation). TestClockLoopSpansOffZeroAlloc in the
