@@ -442,6 +442,9 @@ type (
 	SessionResponse = server.Response
 	// SessionOp enumerates the protocol operations.
 	SessionOp = server.Op
+	// SessionBatch accumulates ops for one session and executes them
+	// as a single coalesced frame (SessionClient.NewBatch builds one).
+	SessionBatch = server.Batch
 )
 
 var (
@@ -450,6 +453,9 @@ var (
 	ServeSessions = server.New
 	// DialSessions connects a SessionClient to an hmcd endpoint.
 	DialSessions = server.Dial
+	// DialSessionsProto dials and negotiates a wire encoding
+	// (SessionProtoJSON or SessionProtoBinary) in one step.
+	DialSessionsProto = server.DialProto
 	// NewSessionClient wraps an established connection (one end of a
 	// net.Pipe works for in-process use).
 	NewSessionClient = server.NewClient
@@ -458,3 +464,11 @@ var (
 // SessionProtocolVersion is the wire protocol version spoken by
 // SessionServer and SessionClient.
 const SessionProtocolVersion = server.Version
+
+// Wire encodings a SessionClient can negotiate at hello time: the
+// debuggable line-JSON default and the length-prefixed binary framing
+// for hot co-simulation loops.
+const (
+	SessionProtoJSON   = server.ProtoJSON
+	SessionProtoBinary = server.ProtoBinary
+)

@@ -343,26 +343,22 @@ func New(id int, cfg config.Config, tracer trace.Tracer) (*Device, error) {
 	// (execParallel restores locking first).
 	d.store.SetSerial(true)
 	d.amoU = amo.New(d.store)
-	// Carve every queue ring buffer of the device — two per link, two
-	// per crossbar port, two per vault — from one flat backing array,
-	// and every bank from another, so construction cost stays flat as
-	// the structure count grows (sweeps build thousands of devices).
-	backing := make([]*Flight, 2*cfg.Links*(cfg.LinkDepth+cfg.XbarDepth)+2*cfg.Vaults*cfg.QueueDepth)
-	carve := func(n int) []*Flight {
-		b := backing[:n:n]
-		backing = backing[n:]
-		return b
-	}
+	// Queue ring buffers — two per link, two per crossbar port, two per
+	// vault — materialize lazily inside queue.Queue as occupancy demands
+	// (architected depths are 64-128 slots but most queues in a
+	// many-thousand-session fleet stay nearly empty; eager rings cost
+	// ~30KB per device). Banks are still carved from one flat array so
+	// construction cost stays flat as the structure count grows.
 	d.links = make([]Link, cfg.Links)
 	for i := range d.links {
-		d.links[i].init(i, cfg.LinkDepth, carve)
+		d.links[i].init(i, cfg.LinkDepth)
 	}
-	d.xbar.init(cfg, carve)
+	d.xbar.init(cfg)
 	bankBacking := make([]Bank, cfg.Vaults*cfg.BanksPerVault)
 	d.vaults = make([]Vault, cfg.Vaults)
 	for i := range d.vaults {
 		banks := bankBacking[i*cfg.BanksPerVault : (i+1)*cfg.BanksPerVault]
-		d.vaults[i].init(i, cfg, banks, carve)
+		d.vaults[i].init(i, cfg, banks)
 	}
 	d.vaultRqstMask = make([]uint64, (cfg.Vaults+63)/64)
 	d.vaultRspMask = make([]uint64, (cfg.Vaults+63)/64)
@@ -408,8 +404,9 @@ func (d *Device) Close() {
 
 // poolChunk is how many Flights or Rqsts a pool miss materializes at
 // once; chunking cuts warm-up allocations without holding excess memory
-// (a chunk is ~1-2 KB).
-const poolChunk = 16
+// (a chunk is well under 1 KB, so a lightly loaded session parked in a
+// many-thousand-session server stays lean).
+const poolChunk = 8
 
 // getFlight draws a Flight envelope from the device free list.
 func (d *Device) getFlight() *Flight {

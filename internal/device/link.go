@@ -96,10 +96,10 @@ type Link struct {
 	wireRqst packet.Rqst
 }
 
-func (l *Link) init(id, depth int, carve func(int) []*Flight) {
+func (l *Link) init(id, depth int) {
 	l.ID = id
-	l.rqst.InitWithBuf(carve(depth))
-	l.rsp.InitWithBuf(carve(depth))
+	l.rqst.Init(depth)
+	l.rsp.Init(depth)
 }
 
 // reset rewinds one direction's retry-protocol state to power-on. The

@@ -70,6 +70,24 @@ func (d *Device) Reset() {
 	}
 }
 
+// Trim releases the reusable capacity Reset deliberately keeps warm,
+// shrinking an idle device toward its freshly built footprint: the
+// backing store's materialized pages scrub back to the process-wide page
+// pool and the flight/request free lists are dropped. Call it after
+// Reset on a device headed for an idle pool — a parked session then
+// costs only its structural allocations, and the first run after
+// revival re-materializes capacity on demand (first writes draw from
+// the same shared pool the trim fed). Trim never touches run-visible
+// state, so Reset+Trim stays bit-identical to a fresh device.
+func (d *Device) Trim() {
+	d.store.Trim()
+	d.flightPool = nil
+	d.rqstPool = nil
+	for i := range d.vaults {
+		d.vaults[i].ctxScratch = nil
+	}
+}
+
 // drainQueue empties one flight queue into the device pools and clears
 // its statistics.
 func (d *Device) drainQueue(q *queue.Queue[*Flight]) {

@@ -38,21 +38,23 @@ type Vault struct {
 	rsp      queue.Queue[*Flight]
 	banks    []Bank
 
-	// ctxScratch is the reusable CMC execute context for this vault.
-	// Each vault is serviced by at most one execute-phase worker per
-	// cycle, so the scratch is never shared.
-	ctxScratch cmc.ExecContext
+	// ctxScratch is the reusable CMC execute context for this vault,
+	// allocated lazily on the first CMC dispatch so workloads that never
+	// issue custom commands pay nothing for it. Each vault is serviced
+	// by at most one execute-phase worker per cycle, so the scratch is
+	// never shared.
+	ctxScratch *cmc.ExecContext
 	// dead collects flights retired without a response this cycle
 	// (posted and flow commands); the single-threaded post-execute pass
 	// recycles them into the device flight pool.
 	dead []*Flight
 }
 
-func (v *Vault) init(id int, cfg config.Config, banks []Bank, carve func(int) []*Flight) {
+func (v *Vault) init(id int, cfg config.Config, banks []Bank) {
 	v.ID = id
 	v.Quad = id / cfg.VaultsPerQuad()
-	v.rqst.InitWithBuf(carve(cfg.QueueDepth))
-	v.rsp.InitWithBuf(carve(cfg.QueueDepth))
+	v.rqst.Init(cfg.QueueDepth)
+	v.rsp.Init(cfg.QueueDepth)
 	v.banks = banks
 }
 
@@ -314,7 +316,10 @@ func (d *Device) executeCMC(v *Vault, f *Flight, loc addr.Location, locErr error
 	}
 	// Reuse the vault's scratch context: only this vault's worker
 	// touches it.
-	ctx := &v.ctxScratch
+	if v.ctxScratch == nil {
+		v.ctxScratch = new(cmc.ExecContext)
+	}
+	ctx := v.ctxScratch
 	*ctx = cmc.ExecContext{
 		Dev:         uint32(d.ID),
 		Quad:        uint32(v.Quad),

@@ -12,20 +12,20 @@ import (
 // capacity — the mechanism the paper credits for the 8Link device's
 // slightly better behaviour beyond fifty threads (§V-C).
 //
-// The queues are held by value with ring buffers carved from the
-// device-wide backing array; callers index them through pointers
-// (&x.rqst[i]) so statistics accumulate in place.
+// The queues are held by value with lazily materialized ring buffers;
+// callers index them through pointers (&x.rqst[i]) so statistics
+// accumulate in place.
 type Crossbar struct {
 	rqst []queue.Queue[*Flight]
 	rsp  []queue.Queue[*Flight]
 }
 
-func (x *Crossbar) init(cfg config.Config, carve func(int) []*Flight) {
+func (x *Crossbar) init(cfg config.Config) {
 	x.rqst = make([]queue.Queue[*Flight], cfg.Links)
 	x.rsp = make([]queue.Queue[*Flight], cfg.Links)
 	for i := 0; i < cfg.Links; i++ {
-		x.rqst[i].InitWithBuf(carve(cfg.XbarDepth))
-		x.rsp[i].InitWithBuf(carve(cfg.XbarDepth))
+		x.rqst[i].Init(cfg.XbarDepth)
+		x.rsp[i].Init(cfg.XbarDepth)
 	}
 }
 

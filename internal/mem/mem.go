@@ -52,6 +52,22 @@ var (
 	ErrUnaligned = errors.New("mem: block access not 16-byte aligned")
 )
 
+// pagePool is the process-wide free list of zeroed pages, shared by every
+// store. A server hosting thousands of short-lived sessions churns pages
+// constantly — one session's released pages become the next session's
+// first writes without a round trip through the allocator. Pages are
+// scrubbed on the way in (releasePage), so newPage always returns
+// all-zero memory and reads cannot distinguish a recycled page from a
+// fresh one.
+var pagePool = sync.Pool{New: func() any { return new([PageBytes]byte) }}
+
+func newPage() *[PageBytes]byte { return pagePool.Get().(*[PageBytes]byte) }
+
+func releasePage(p *[PageBytes]byte) {
+	clear(p[:])
+	pagePool.Put(p)
+}
+
 // shard is one independently locked slice of the address space.
 type shard struct {
 	mu    sync.RWMutex
@@ -222,7 +238,7 @@ func (sh *shard) write(local uint64, p []byte) {
 			if sh.pages == nil {
 				sh.pages = make(map[uint64]*[PageBytes]byte)
 			}
-			page = new([PageBytes]byte)
+			page = newPage()
 			sh.pages[pageIdx] = page
 		}
 		copy(page[off:off+n], p[done:done+n])
@@ -246,7 +262,7 @@ func (sh *shard) ensurePage(local uint64) *[PageBytes]byte {
 		if sh.pages == nil {
 			sh.pages = make(map[uint64]*[PageBytes]byte)
 		}
-		page = new([PageBytes]byte)
+		page = newPage()
 		sh.pages[idx] = page
 	}
 	return page
@@ -451,13 +467,37 @@ func (s *Store) WriteBlock(addr uint64, blk Block) error {
 	return nil
 }
 
-// Reset drops all materialized pages, returning the store to all-zeros
-// and releasing their memory. Use Zero to return to all-zeros while
-// keeping the pages materialized (the simulator-reuse fast path).
+// Reset returns the store to all-zeros, scrubbing every materialized
+// page back to the shared page pool. The shard page tables survive with
+// their entries cleared, so a reused store re-materializes into warm map
+// buckets. Use Zero to return to all-zeros while keeping the pages
+// materialized (the simulator-reuse fast path), or Trim to additionally
+// drop the page tables themselves.
 func (s *Store) Reset() {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.lock()
+		for idx, page := range sh.pages {
+			releasePage(page)
+			delete(sh.pages, idx)
+		}
+		sh.unlock()
+	}
+}
+
+// Trim releases every materialized page to the shared page pool and
+// drops the shard page tables, shrinking the store to its freshly built
+// footprint. It is the idle-session heap diet: a pooled simulator that
+// may sit unused holds no page storage, and the pages it scrubbed back
+// seed the next session's first writes. Trim leaves the store all-zero,
+// observationally identical to Reset.
+func (s *Store) Trim() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.lock()
+		for _, page := range sh.pages {
+			releasePage(page)
+		}
 		sh.pages = nil
 		sh.unlock()
 	}

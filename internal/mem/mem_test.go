@@ -144,6 +144,33 @@ func TestReset(t *testing.T) {
 	}
 }
 
+// TestTrimScrubsToPool pins the page-pool contract: Trim drops every
+// materialized page, the store stays observationally all-zero, and a
+// page recycled through the pool reads as zero on its next
+// materialization (releasePage scrubs before pooling).
+func TestTrimScrubsToPool(t *testing.T) {
+	s := NewSharded(1<<20, 5, 3)
+	for addr := uint64(0); addr < 8*PageBytes; addr += 512 {
+		if err := s.WriteUint64(addr, ^uint64(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Trim()
+	if got := s.AllocatedBytes(); got != 0 {
+		t.Errorf("Trim left %d bytes allocated", got)
+	}
+	// Re-materialize: every page drawn (likely from the pool just fed)
+	// must read back zero outside the bytes written.
+	for addr := uint64(0); addr < 8*PageBytes; addr += PageBytes {
+		if err := s.WriteUint64(addr, 7); err != nil {
+			t.Fatal(err)
+		}
+		if v, err := s.ReadUint64(addr + 64); err != nil || v != 0 {
+			t.Fatalf("recycled page dirty at %#x: %d, %v", addr+64, v, err)
+		}
+	}
+}
+
 // TestZeroKeepsPages pins the simulator-reuse fast path: Zero returns
 // the store to all-zeros (observationally identical to Reset) while
 // keeping every materialized page allocated for the next run.

@@ -44,11 +44,22 @@ func (s Stats) Samples() uint64 { return s.samples }
 
 // Queue is a bounded FIFO over elements of type T. It is not safe for
 // concurrent use; the simulator clocks queues from a single goroutine.
+//
+// The ring buffer behind a queue is materialized lazily: Init records
+// only the logical capacity, and Push grows the buffer geometrically
+// (starting at minRing slots) up to that capacity as occupancy actually
+// demands it. A simulated device carries dozens of deep queues whose
+// architected depths (64-128 slots) are rarely approached — a
+// many-thousand-session server would otherwise pay tens of kilobytes
+// per session for empty ring slots. Stall/occupancy semantics are
+// unchanged: Full, ErrFull and every statistic depend only on the
+// logical capacity, never on how much of the ring is materialized.
 type Queue[T any] struct {
-	buf   []T
-	head  int
-	count int
-	stats Stats
+	buf      []T
+	head     int
+	count    int
+	capacity int
+	stats    Stats
 	// sampleBase, when set, points at the owner's cycle counter. The
 	// owner may then skip Sample() on cycles where the queue is empty
 	// (an empty sample adds zero occupancy), and Stats() reconstructs
@@ -56,6 +67,9 @@ type Queue[T any] struct {
 	// to sampling every cycle.
 	sampleBase *uint64
 }
+
+// minRing is the smallest materialized ring; growth doubles from here.
+const minRing = 8
 
 // New returns a queue with the given capacity. It panics if capacity is
 // not positive, which always indicates a configuration error upstream.
@@ -65,29 +79,34 @@ func New[T any](capacity int) *Queue[T] {
 	return q
 }
 
-// Init readies a zero-value queue with the given capacity, allocating a
-// fresh ring buffer. It lets owners embed queues by value instead of
-// holding *Queue indirections. It panics if capacity is not positive.
+// Init readies a zero-value queue with the given logical capacity; the
+// ring buffer materializes on demand. It lets owners embed queues by
+// value instead of holding *Queue indirections. It panics if capacity
+// is not positive.
 func (q *Queue[T]) Init(capacity int) {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("queue: invalid capacity %d", capacity))
 	}
-	q.InitWithBuf(make([]T, capacity))
+	*q = Queue[T]{capacity: capacity}
 }
 
 // InitWithBuf readies a zero-value queue over a caller-provided ring
-// buffer whose length is the queue capacity. Owners that build many
-// queues at once can carve them all from one flat allocation. The queue
-// takes ownership of buf. It panics on an empty buffer.
+// buffer whose length is the queue capacity, fully materialized up
+// front. The queue takes ownership of buf, which must be zeroed. It
+// panics on an empty buffer.
 func (q *Queue[T]) InitWithBuf(buf []T) {
 	if len(buf) == 0 {
 		panic("queue: empty ring buffer")
 	}
-	*q = Queue[T]{buf: buf}
+	*q = Queue[T]{buf: buf, capacity: len(buf)}
 }
 
-// Cap returns the queue capacity.
-func (q *Queue[T]) Cap() int { return len(q.buf) }
+// Cap returns the logical queue capacity.
+func (q *Queue[T]) Cap() int { return q.capacity }
+
+// Materialized returns how many ring slots are currently allocated —
+// at most Cap, and zero until the first Push.
+func (q *Queue[T]) Materialized() int { return len(q.buf) }
 
 // Len returns the current number of queued elements.
 func (q *Queue[T]) Len() int { return q.count }
@@ -96,7 +115,31 @@ func (q *Queue[T]) Len() int { return q.count }
 func (q *Queue[T]) Empty() bool { return q.count == 0 }
 
 // Full reports whether the queue is at capacity.
-func (q *Queue[T]) Full() bool { return q.count == len(q.buf) }
+func (q *Queue[T]) Full() bool { return q.count == q.capacity }
+
+// grow materializes a larger ring: double the current size (starting at
+// minRing), capped at the logical capacity, with the occupied span
+// copied to the front so the slots beyond it stay zero (the invariant
+// Reset's O(Len) clear relies on).
+func (q *Queue[T]) grow() {
+	n := len(q.buf) * 2
+	if n < minRing {
+		n = minRing
+	}
+	if n > q.capacity {
+		n = q.capacity
+	}
+	buf := make([]T, n)
+	for i := 0; i < q.count; i++ {
+		j := q.head + i
+		if j >= len(q.buf) {
+			j -= len(q.buf)
+		}
+		buf[i] = q.buf[j]
+	}
+	q.buf = buf
+	q.head = 0
+}
 
 // Push appends v to the tail. A full queue returns ErrFull and records a
 // stall.
@@ -104,6 +147,9 @@ func (q *Queue[T]) Push(v T) error {
 	if q.Full() {
 		q.stats.Stalls++
 		return ErrFull
+	}
+	if q.count == len(q.buf) {
+		q.grow()
 	}
 	// head < len and count <= len, so one compare-subtract wraps the
 	// insertion index — cheaper than the general modulo's division on

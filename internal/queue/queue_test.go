@@ -265,3 +265,93 @@ func TestInitWithBufSharedBacking(t *testing.T) {
 	var c Queue[int]
 	c.InitWithBuf(nil)
 }
+
+// TestLazyMaterialization pins the heap-diet contract: Init allocates no
+// ring, the buffer grows geometrically under pressure, wrap order
+// survives growth, and Full/ErrFull depend only on the logical capacity.
+func TestLazyMaterialization(t *testing.T) {
+	var q Queue[int]
+	q.Init(100)
+	if q.Materialized() != 0 {
+		t.Fatalf("materialized %d before first push, want 0", q.Materialized())
+	}
+	if q.Cap() != 100 {
+		t.Fatalf("cap %d, want 100", q.Cap())
+	}
+	// Build wrap state: fill a small ring, pop a few, keep pushing so
+	// the occupied span straddles the ring boundary when growth copies.
+	for i := 0; i < 8; i++ {
+		if err := q.Push(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Materialized() != 8 {
+		t.Fatalf("materialized %d after 8 pushes, want 8", q.Materialized())
+	}
+	for i := 0; i < 5; i++ {
+		if v, ok := q.Pop(); !ok || v != i {
+			t.Fatalf("pop %d: got %d, %v", i, v, ok)
+		}
+	}
+	next := 8
+	for q.Len() < 100 {
+		if err := q.Push(next); err != nil {
+			t.Fatal(err)
+		}
+		next++
+	}
+	if err := q.Push(next); !errors.Is(err, ErrFull) {
+		t.Fatalf("push on logically full queue: %v", err)
+	}
+	if got := q.Materialized(); got < 100 || got > 128 {
+		t.Fatalf("materialized %d at full occupancy, want [100,128]", got)
+	}
+	for want := 5; want < next; want++ {
+		if v, ok := q.Pop(); !ok || v != want {
+			t.Fatalf("pop: got %d, %v, want %d", v, ok, want)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop on empty queue succeeded")
+	}
+	if st := q.Stats(); st.Stalls != 1 || st.MaxOccupancy != 100 {
+		t.Fatalf("stats %+v, want 1 stall, max occupancy 100", st)
+	}
+}
+
+// TestGrowKeepsTailZero checks growth preserves the Reset invariant:
+// slots outside the occupied span stay zero after the copy.
+func TestGrowKeepsTailZero(t *testing.T) {
+	var q Queue[*int]
+	q.Init(64)
+	v := new(int)
+	for i := 0; i < 40; i++ {
+		if err := q.Push(v); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			q.Pop()
+		}
+	}
+	n := q.Len()
+	for i := 0; i < n; i++ {
+		q.Pop()
+	}
+	q.Reset()
+	for i := 0; i < q.Materialized(); i++ {
+		if err := q.Push(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// If Reset's O(Len) clear missed a stale pointer the ring would
+	// still reference v; popping everything must yield only nils.
+	for {
+		p, ok := q.Pop()
+		if !ok {
+			break
+		}
+		if p != nil {
+			t.Fatal("stale pointer survived Reset after growth")
+		}
+	}
+}

@@ -66,6 +66,46 @@ func BenchmarkServerSendRecvRoundTrip(b *testing.B) {
 	}
 }
 
+// BenchmarkServerBatchedSendRecv measures the same send→drain→recv
+// round as BenchmarkServerSendRecvRoundTrip issued as one batch frame,
+// in each wire encoding — one round trip instead of three.
+func BenchmarkServerBatchedSendRecv(b *testing.B) {
+	for _, proto := range []string{ProtoJSON, ProtoBinary} {
+		b.Run(proto, func(b *testing.B) {
+			srv := New(Config{Shards: 1})
+			defer srv.Close()
+			here, there := net.Pipe()
+			srv.ServeConn(there)
+			cl := NewClient(here)
+			defer cl.Close()
+			if err := cl.Hello(proto); err != nil {
+				b.Fatal(err)
+			}
+			sess, err := cl.Init("4link-4gb")
+			if err != nil {
+				b.Fatal(err)
+			}
+			rd := hmccmd.RD64.Code()
+			bt := cl.NewBatch(sess)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bt.Begin(sess)
+				bt.Send(i%4, rd, 0, uint64(i%64)*64, uint16(i%2047+1), nil)
+				bt.ClockUntilRecv(8192)
+				bt.Recv(i % 4)
+				rsps, err := bt.Do()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rsps[0].Accepted || !rsps[2].Have {
+					b.Fatalf("round %d failed: %+v", i, rsps)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkServerSessionChurn measures init+close against a warm
 // simulator pool — the allocation-free session recycling path the
 // many-thousand-session harness leans on.

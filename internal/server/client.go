@@ -2,36 +2,70 @@ package server
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
 )
 
-// Client speaks the line-JSON protocol over one connection. It is safe
-// for concurrent use: calls from many goroutines pipeline onto the
+// Client speaks the session protocol over one connection, in either
+// wire encoding (Hello negotiates; line-JSON is the default). It is
+// safe for concurrent use: calls from many goroutines pipeline onto the
 // single connection and are demultiplexed by response id, so one Client
 // can drive thousands of sessions at once.
 type Client struct {
 	nc net.Conn
 
-	wmu sync.Mutex
-	bw  *bufio.Writer
-	enc []byte
+	wmu  sync.Mutex
+	bw   *bufio.Writer
+	enc  []byte
+	binW bool
 
 	nextID atomic.Uint64
 
 	pmu     sync.Mutex
-	pending map[uint64]chan Response
+	pending map[uint64]*clientCall
 	readErr error
 	dead    bool
+
+	// binR flips the reader to binary framing. It is set after the
+	// hello response is consumed and read at message boundaries, so the
+	// switch is race-free as long as Hello runs before concurrent use.
+	binR atomic.Bool
 }
+
+// clientCall is one in-flight request: the decode target and the
+// completion signal. Calls recycle through callPool, and the embedded
+// Response keeps its payload buffers warm across uses — a steady-state
+// round trip allocates nothing for canonical traffic.
+type clientCall struct {
+	done chan struct{}
+	rsp  Response
+	err  error
+}
+
+var callPool = sync.Pool{
+	New: func() any { return &clientCall{done: make(chan struct{}, 1)} },
+}
+
+func getCall() *clientCall {
+	call := callPool.Get().(*clientCall)
+	call.err = nil
+	return call
+}
+
+func putCall(call *clientCall) { callPool.Put(call) }
 
 // ErrClientClosed reports a call against a closed (or failed) client
 // connection.
 var ErrClientClosed = errors.New("server: client connection closed")
+
+// clientMaxMessage bounds one response line or frame.
+const clientMaxMessage = 1 << 20
 
 // Dial connects a Client to an hmcd endpoint ("tcp", "host:port" or
 // "unix", "/path/sock").
@@ -43,13 +77,27 @@ func Dial(network, addr string) (*Client, error) {
 	return NewClient(nc), nil
 }
 
+// DialProto dials and immediately negotiates the given wire encoding
+// (ProtoJSON, ProtoBinary).
+func DialProto(network, addr, proto string) (*Client, error) {
+	c, err := Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Hello(proto); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
 // NewClient wraps an established connection (one end of a net.Pipe
 // works for in-process use) and starts its response reader.
 func NewClient(nc net.Conn) *Client {
 	c := &Client{
 		nc:      nc,
 		bw:      bufio.NewWriterSize(nc, 16<<10),
-		pending: make(map[uint64]chan Response),
+		pending: make(map[uint64]*clientCall),
 	}
 	go c.readLoop()
 	return c
@@ -59,50 +107,157 @@ func NewClient(nc net.Conn) *Client {
 // ErrClientClosed.
 func (c *Client) Close() error { return c.nc.Close() }
 
+// Hello negotiates the connection's wire encoding. Call it right after
+// dialing, before issuing concurrent requests: the encoding switches
+// between the hello response and the next request, and in-flight
+// traffic during the switch would be misframed. An empty proto (or
+// ProtoJSON) keeps the debuggable line-JSON default.
+func (c *Client) Hello(proto string) error {
+	rsp, err := c.Do(OpHello, Request{Proto: proto})
+	if err != nil {
+		return err
+	}
+	if rsp.Proto == ProtoBinary {
+		// The read side already switched itself when it decoded the
+		// hello response (it would otherwise re-enter the line reader
+		// before this goroutine resumed); only the write side flips here.
+		c.wmu.Lock()
+		c.binW = true
+		c.wmu.Unlock()
+	}
+	return nil
+}
+
+// take claims the in-flight call for id, or nil if it was abandoned.
+func (c *Client) take(id uint64) *clientCall {
+	c.pmu.Lock()
+	call := c.pending[id]
+	delete(c.pending, id)
+	c.pmu.Unlock()
+	return call
+}
+
 func (c *Client) readLoop() {
-	sc := bufio.NewScanner(c.nc)
-	sc.Buffer(make([]byte, 4096), 1<<20)
-	for sc.Scan() {
-		var rsp Response
-		if err := json.Unmarshal(sc.Bytes(), &rsp); err != nil {
+	br := bufio.NewReaderSize(c.nc, 16<<10)
+	var scratch []byte
+	for {
+		if c.binR.Load() {
+			body, err := readFrame(br, &scratch, clientMaxMessage)
+			if err != nil {
+				c.fail(readErrOr(err))
+				return
+			}
+			if len(body) < 1+8 {
+				c.fail(fmt.Errorf("server: short binary response (%d bytes)", len(body)))
+				return
+			}
+			call := c.take(binary.LittleEndian.Uint64(body[1:9]))
+			if call == nil {
+				continue
+			}
+			if err := DecodeResponseBinary(body, &call.rsp); err != nil {
+				call.err = err
+				call.done <- struct{}{}
+				c.fail(err)
+				return
+			}
+			call.done <- struct{}{}
+			continue
+		}
+		line, err := readLine(br, &scratch, clientMaxMessage)
+		if err != nil {
+			c.fail(readErrOr(err))
+			return
+		}
+		if len(line) == 0 {
+			continue
+		}
+		if id, ok := peekID(line); ok {
+			call := c.take(id)
+			if call == nil {
+				continue
+			}
+			if !parseResponseFast(line, &call.rsp) {
+				call.rsp = Response{}
+				if err := json.Unmarshal(line, &call.rsp); err != nil {
+					call.err = fmt.Errorf("server: undecodable response: %w", err)
+					call.done <- struct{}{}
+					c.fail(call.err)
+					return
+				}
+			}
+			// A hello response switches the read side immediately: the
+			// very next bytes on the wire may already be binary frames,
+			// and waiting for Hello() to resume would re-enter the line
+			// reader first.
+			if call.rsp.Proto == ProtoBinary {
+				c.binR.Store(true)
+			}
+			call.done <- struct{}{}
+			continue
+		}
+		// Non-canonical line: decode to find the id, then route.
+		var tmp Response
+		if err := json.Unmarshal(line, &tmp); err != nil {
 			c.fail(fmt.Errorf("server: undecodable response: %w", err))
 			return
 		}
-		c.pmu.Lock()
-		ch := c.pending[rsp.ID]
-		delete(c.pending, rsp.ID)
-		c.pmu.Unlock()
-		if ch != nil {
-			ch <- rsp
+		if tmp.Proto == ProtoBinary {
+			c.binR.Store(true)
+		}
+		if call := c.take(tmp.ID); call != nil {
+			call.rsp = tmp
+			call.done <- struct{}{}
 		}
 	}
-	err := sc.Err()
-	if err == nil {
-		err = ErrClientClosed
+}
+
+// readErrOr maps stream-end and closed-socket errors to the stable
+// ErrClientClosed; anything else passes through.
+func readErrOr(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return ErrClientClosed
 	}
-	c.fail(err)
+	return err
+}
+
+// peekID extracts the id from a canonical response line without
+// decoding the rest, so the line can be parsed straight into its
+// caller's reusable Response.
+func peekID(line []byte) (uint64, bool) {
+	const p = `{"id":`
+	if len(line) < len(p)+1 || string(line[:len(p)]) != p {
+		return 0, false
+	}
+	s := fastScan{b: line, off: len(p)}
+	return s.uint()
 }
 
 // fail poisons the client: every waiter (current and future) gets err.
 func (c *Client) fail(err error) {
 	c.pmu.Lock()
+	if c.dead {
+		c.pmu.Unlock()
+		return
+	}
 	c.dead = true
 	c.readErr = err
 	pend := c.pending
 	c.pending = nil
 	c.pmu.Unlock()
 	c.nc.Close()
-	for _, ch := range pend {
-		close(ch)
+	for _, call := range pend {
+		call.err = err
+		call.done <- struct{}{}
 	}
 }
 
-// Do executes one request synchronously: it assigns the id, writes the
-// line, and waits for the matching response. A response with ok=false
-// is returned as a *ProtocolError (the Response travels with it).
-func (c *Client) Do(op Op, req Request) (Response, error) {
+// do executes one request against a caller-provided call object and
+// leaves the decoded response in call.rsp. The returned Response is a
+// shallow copy whose slices alias call.rsp's buffers — the caller
+// decides whether to detach them.
+func (c *Client) do(op Op, req *Request, call *clientCall) (Response, error) {
 	req.ID = c.nextID.Add(1)
-	ch := make(chan Response, 1)
 
 	c.pmu.Lock()
 	if c.dead {
@@ -110,11 +265,15 @@ func (c *Client) Do(op Op, req Request) (Response, error) {
 		c.pmu.Unlock()
 		return Response{}, err
 	}
-	c.pending[req.ID] = ch
+	c.pending[req.ID] = call
 	c.pmu.Unlock()
 
 	c.wmu.Lock()
-	c.enc = AppendRequest(c.enc[:0], op, &req)
+	if c.binW && op != OpHello {
+		c.enc = AppendRequestBinary(c.enc[:0], op, req)
+	} else {
+		c.enc = AppendRequest(c.enc[:0], op, req)
+	}
 	_, werr := c.bw.Write(c.enc)
 	if werr == nil {
 		werr = c.bw.Flush()
@@ -122,22 +281,54 @@ func (c *Client) Do(op Op, req Request) (Response, error) {
 	c.wmu.Unlock()
 	if werr != nil {
 		c.pmu.Lock()
-		delete(c.pending, req.ID)
-		c.pmu.Unlock()
+		if c.pending != nil {
+			delete(c.pending, req.ID)
+			c.pmu.Unlock()
+		} else {
+			// fail() claimed the pending set between register and here;
+			// it will signal this call. Consume that signal so the call
+			// leaves with a drained channel and can be recycled.
+			c.pmu.Unlock()
+			<-call.done
+		}
 		return Response{}, werr
 	}
 
-	rsp, ok := <-ch
-	if !ok {
-		c.pmu.Lock()
-		err := c.readErr
-		c.pmu.Unlock()
-		return Response{}, err
+	<-call.done
+	if call.err != nil {
+		return Response{}, call.err
 	}
+	rsp := call.rsp
 	if !rsp.OK {
 		return rsp, &ProtocolError{Code: rsp.Code, Msg: rsp.Err}
 	}
 	return rsp, nil
+}
+
+// Do executes one request synchronously: it assigns the id, writes the
+// message, and waits for the matching response. A response with
+// ok=false is returned as a *ProtocolError (the Response travels with
+// it). The returned Response is detached — its slices are the caller's.
+func (c *Client) Do(op Op, req Request) (Response, error) {
+	call := getCall()
+	rsp, err := c.do(op, &req, call)
+	// Detach from the pooled call's reusable buffers before recycling.
+	if len(rsp.Payload) > 0 {
+		rsp.Payload = append([]uint64(nil), rsp.Payload...)
+	}
+	if len(rsp.Rsps) > 0 {
+		rsps := make([]Response, len(rsp.Rsps))
+		copy(rsps, rsp.Rsps)
+		for i := range rsps {
+			if len(rsps[i].Payload) > 0 {
+				rsps[i].Payload = append([]uint64(nil), rsps[i].Payload...)
+			}
+		}
+		rsp.Rsps = rsps
+	}
+	// Every do() exit leaves call.done drained, so recycling is safe.
+	putCall(call)
+	return rsp, err
 }
 
 // ProtocolError is a server-reported failure (ok=false response).
@@ -214,4 +405,93 @@ func (c *Client) Stats(sess uint64) (Response, error) {
 func (c *Client) CloseSession(sess uint64) error {
 	_, err := c.Do(OpClose, Request{Sess: sess})
 	return err
+}
+
+// Batch accumulates session ops and executes them in one coalesced
+// round trip — one frame out, one frame back, the sub-ops run
+// back-to-back on the session's shard. A Batch is reusable (Begin
+// rewinds it, recycling every buffer) but not safe for concurrent use;
+// the results a Do returns stay valid until the next Begin/Do.
+type Batch struct {
+	c    *Client
+	req  Request
+	call clientCall
+	err  error
+}
+
+// NewBatch returns an empty batch against sess.
+func (c *Client) NewBatch(sess uint64) *Batch {
+	b := &Batch{c: c}
+	b.call.done = make(chan struct{}, 1)
+	b.req.Sess = sess
+	return b
+}
+
+// Begin rewinds the batch for reuse against sess, keeping its buffers.
+func (b *Batch) Begin(sess uint64) {
+	b.req.Sess = sess
+	b.req.Ops = b.req.Ops[:0]
+	b.err = nil
+}
+
+// Len reports the number of accumulated ops.
+func (b *Batch) Len() int { return len(b.req.Ops) }
+
+func (b *Batch) add(op Op) *Request {
+	if len(b.req.Ops) >= MaxBatchOps {
+		if b.err == nil {
+			b.err = fmt.Errorf("server: batch exceeds %d ops", MaxBatchOps)
+		}
+		return &Request{}
+	}
+	var sub *Request
+	b.req.Ops, sub = reuseOp(b.req.Ops)
+	sub.Op = opNames[op]
+	sub.opc = op
+	return sub
+}
+
+// Send queues a send sub-op.
+func (b *Batch) Send(link int, cmd uint8, cub int, adrs uint64, tag uint16, payload []uint64) {
+	sub := b.add(OpSend)
+	sub.Link, sub.Cmd, sub.Cub, sub.Adrs, sub.Tag = link, cmd, cub, adrs, tag
+	sub.Payload = append(sub.Payload[:0], payload...)
+}
+
+// Recv queues a recv sub-op.
+func (b *Batch) Recv(link int) { b.add(OpRecv).Link = link }
+
+// Clock queues a single-cycle clock sub-op.
+func (b *Batch) Clock() { b.add(OpClock) }
+
+// ClockN queues an n-cycle clock sub-op.
+func (b *Batch) ClockN(n uint64) { b.add(OpClockN).N = n }
+
+// ClockUntilRecv queues a bounded clock-until-response sub-op.
+func (b *Batch) ClockUntilRecv(budget uint64) { b.add(OpClockUntilRecv).Budget = budget }
+
+// LoadCMC queues a CMC-bind sub-op.
+func (b *Batch) LoadCMC(name string) { b.add(OpLoadCMC).Name = name }
+
+// Reset queues a session-reset sub-op.
+func (b *Batch) Reset() { b.add(OpReset) }
+
+// Stats queues a statistics-snapshot sub-op.
+func (b *Batch) Stats() { b.add(OpStats) }
+
+// Do executes the accumulated ops and returns one Response per sub-op,
+// positionally. Each has its own ok flag: a failed sub-op does not stop
+// the ones after it. The returned slice and its payloads are owned by
+// the Batch and stay valid until the next Begin or Do. The outer
+// request failing (dead session, protocol error) returns a nil slice
+// and the error.
+func (b *Batch) Do() ([]Response, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	rsp, err := b.c.do(OpBatch, &b.req, &b.call)
+	if err != nil {
+		return nil, err
+	}
+	return rsp.Rsps, nil
 }

@@ -3,6 +3,9 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
 	"net"
 	"strings"
 	"sync"
@@ -61,6 +64,14 @@ func (c *conn) send(buf []byte) {
 	}
 }
 
+// Sentinel read errors the loop can recover from (binary frames) or
+// must die on (JSON lines, which cannot be re-synchronized).
+var (
+	errLineTooLong  = errors.New("request line exceeds MaxLineBytes")
+	errFrameTooBig  = errors.New("binary frame exceeds MaxLineBytes")
+	errFrameSkipped = errors.New("oversized binary frame skipped")
+)
+
 func (c *conn) readLoop() {
 	defer func() {
 		c.readerDone.Store(true)
@@ -69,19 +80,60 @@ func (c *conn) readLoop() {
 		}
 		c.srv.connWG.Done()
 	}()
-	sc := bufio.NewScanner(c.nc)
-	sc.Buffer(make([]byte, 4096), c.srv.cfg.MaxLineBytes)
+	br := bufio.NewReaderSize(c.nc, 4096)
 	nshards := uint64(len(c.srv.shards))
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(bytes.TrimSpace(line)) == 0 {
+	binmode := false
+	var scratch []byte
+	for {
+		var body []byte
+		var err error
+		if binmode {
+			body, err = readFrame(br, &scratch, c.srv.cfg.MaxLineBytes)
+			if errors.Is(err, errFrameSkipped) {
+				// Length-prefixed framing stays in sync across a skipped
+				// body; report and keep serving the connection.
+				c.srv.met.protoErrs.Inc()
+				c.sendBinError(0, 0, errFrameTooBig.Error())
+				continue
+			}
+		} else {
+			body, err = readLine(br, &scratch, c.srv.cfg.MaxLineBytes)
+		}
+		if err != nil {
+			// EOF, a dead connection, or an unrecoverable stream error
+			// (an oversized JSON line cannot be re-synchronized).
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) && !c.dead.Load() {
+				c.srv.met.protoErrs.Inc()
+				c.sendError(0, err.Error(), binmode)
+			}
+			return
+		}
+		if !binmode && len(bytes.TrimSpace(body)) == 0 {
 			continue
 		}
 		req := getRequest()
-		op, err := DecodeRequest(line, req)
+		var op Op
+		if binmode {
+			op, err = DecodeRequestBinary(body, req)
+		} else {
+			op, err = DecodeRequest(body, req)
+		}
 		if err != nil {
 			c.srv.met.protoErrs.Inc()
-			c.sendError(req.ID, err.Error())
+			c.sendError(req.ID, err.Error(), binmode)
+			putRequest(req)
+			continue
+		}
+		if op == OpHello {
+			// hello never reaches a shard: the reader answers it in the
+			// current encoding and switches modes for everything after.
+			rsp := Response{ID: req.ID, OK: true, Proto: ProtoJSON}
+			if req.Proto == ProtoBinary {
+				rsp.Proto = ProtoBinary
+			}
+			c.send(AppendResponse(getBuf(), OpHello, &rsp))
+			binmode = rsp.Proto == ProtoBinary
+			c.srv.met.ops[OpHello].Inc()
 			putRequest(req)
 			continue
 		}
@@ -94,19 +146,84 @@ func (c *conn) readLoop() {
 		// Blocking send: shard backlog is the protocol's backpressure.
 		// Shards drain their channels until Server.Close closes them,
 		// which happens only after every reader has exited.
-		c.srv.shards[req.Sess%nshards].ch <- task{op: op, req: req, c: c}
-	}
-	// Scanner stops on EOF, a dead connection, or an oversized line; an
-	// oversized line cannot be re-synchronized, so the conn ends there.
-	if sc.Err() != nil && !c.dead.Load() {
-		c.srv.met.protoErrs.Inc()
-		c.sendError(0, sc.Err().Error())
+		c.srv.shards[req.Sess%nshards].ch <- task{op: op, req: req, c: c, bin: binmode}
 	}
 }
 
+// readLine returns the next newline-terminated line with the newline
+// (and a trailing \r) stripped. scratch carries fragments of lines that
+// span buffer fills; short lines are returned straight from the
+// bufio.Reader's buffer without copying.
+func readLine(br *bufio.Reader, scratch *[]byte, max int) ([]byte, error) {
+	*scratch = (*scratch)[:0]
+	for {
+		frag, err := br.ReadSlice('\n')
+		if err == bufio.ErrBufferFull {
+			*scratch = append(*scratch, frag...)
+			if len(*scratch) > max {
+				return nil, errLineTooLong
+			}
+			continue
+		}
+		if err != nil {
+			if err == io.EOF && (len(frag) > 0 || len(*scratch) > 0) {
+				// A final unterminated line still counts as a line.
+				line := frag
+				if len(*scratch) > 0 {
+					*scratch = append(*scratch, frag...)
+					line = *scratch
+				}
+				if len(line) > max {
+					return nil, errLineTooLong
+				}
+				return line, nil
+			}
+			return nil, err
+		}
+		line := frag
+		if len(*scratch) > 0 {
+			*scratch = append(*scratch, frag...)
+			line = *scratch
+		}
+		if len(line) > max {
+			return nil, errLineTooLong
+		}
+		line = line[:len(line)-1]
+		if len(line) > 0 && line[len(line)-1] == '\r' {
+			line = line[:len(line)-1]
+		}
+		return line, nil
+	}
+}
+
+// readFrame returns the next binary frame body, read into scratch (the
+// returned slice aliases it). An oversized frame is skipped in full and
+// reported as errFrameSkipped so the caller can keep the connection.
+func readFrame(br *bufio.Reader, scratch *[]byte, max int) ([]byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n > max {
+		if _, err := io.CopyN(io.Discard, br, int64(n)); err != nil {
+			return nil, err
+		}
+		return nil, errFrameSkipped
+	}
+	if cap(*scratch) < n {
+		*scratch = make([]byte, n)
+	}
+	*scratch = (*scratch)[:n]
+	if _, err := io.ReadFull(br, *scratch); err != nil {
+		return nil, err
+	}
+	return *scratch, nil
+}
+
 // sendError emits a bad_request response from the reader itself —
-// malformed lines never reach a shard.
-func (c *conn) sendError(id uint64, msg string) {
+// malformed input never reaches a shard.
+func (c *conn) sendError(id uint64, msg string, bin bool) {
 	code := CodeBadRequest
 	if i := strings.IndexByte(msg, ':'); i > 0 {
 		switch msg[:i] {
@@ -114,10 +231,25 @@ func (c *conn) sendError(id uint64, msg string) {
 			code = CodeUnknownOp
 		case CodeBadVersion:
 			code = CodeBadVersion
+		case CodeLimit:
+			code = CodeLimit
 		}
+	}
+	if bin {
+		c.sendBinError(id, codeToByte(code), msg)
+		return
 	}
 	rsp := Response{ID: id, Err: msg, Code: code}
 	c.send(AppendResponse(getBuf(), 0, &rsp))
+}
+
+func (c *conn) sendBinError(id uint64, codeByte uint8, msg string) {
+	code := CodeBadRequest
+	if codeByte != 0 {
+		code = byteToCode(codeByte)
+	}
+	rsp := Response{ID: id, Err: msg, Code: code}
+	c.send(AppendResponseBinary(getBuf(), 0, &rsp))
 }
 
 func (c *conn) writeLoop() {
@@ -174,14 +306,31 @@ var reqPool = sync.Pool{
 func getRequest() *Request  { return reqPool.Get().(*Request) }
 func putRequest(r *Request) { reqPool.Put(r) }
 
+// bufPool holds response buffers as *[]byte; hdrPool recycles the
+// slice-header boxes themselves, so putBuf re-boxes a buffer without
+// the `&b` escape allocating a fresh header every call. Each box lives
+// in exactly one of the two pools at a time.
 var bufPool = sync.Pool{
 	New: func() any { b := make([]byte, 0, 512); return &b },
 }
 
-func getBuf() []byte { return (*bufPool.Get().(*[]byte))[:0] }
+var hdrPool = sync.Pool{
+	New: func() any { return new([]byte) },
+}
+
+func getBuf() []byte {
+	p := bufPool.Get().(*[]byte)
+	b := (*p)[:0]
+	*p = nil
+	hdrPool.Put(p)
+	return b
+}
+
 func putBuf(b []byte) {
 	if cap(b) > 1<<20 {
 		return // oversized one-offs (stats on big fleets) are not retained
 	}
-	bufPool.Put(&b)
+	p := hdrPool.Get().(*[]byte)
+	*p = b
+	bufPool.Put(p)
 }

@@ -278,16 +278,102 @@ func cmcLockWorkload(d driver, cfg config.Config) ([]rspEvent, error) {
 	return trace, nil
 }
 
+// batchDriver issues every driver op as a one-op batch frame, so the
+// whole workload flows through batch framing, sub-op dispatch and
+// sub-response decode; multi-op coalescing is pinned separately by
+// TestBatchCoalescedRound.
+type batchDriver struct {
+	cl   *Client
+	b    *Batch
+	sess uint64
+}
+
+func newBatchDriver(cl *Client, sess uint64) *batchDriver {
+	return &batchDriver{cl: cl, b: cl.NewBatch(sess), sess: sess}
+}
+
+func (d *batchDriver) one() (Response, error) {
+	rsps, err := d.b.Do()
+	if err != nil {
+		return Response{}, err
+	}
+	r := rsps[0]
+	if !r.OK {
+		return r, &ProtocolError{Code: r.Code, Msg: r.Err}
+	}
+	return r, nil
+}
+
+func (d *batchDriver) loadCMC(name string) error {
+	d.b.Begin(d.sess)
+	d.b.LoadCMC(name)
+	_, err := d.one()
+	return err
+}
+
+func (d *batchDriver) send(link int, cmd hmccmd.Rqst, cub int, adrs uint64, tag uint16, payload []uint64) (bool, error) {
+	d.b.Begin(d.sess)
+	d.b.Send(link, cmd.Code(), cub, adrs, tag, payload)
+	r, err := d.one()
+	return r.Accepted, err
+}
+
+func (d *batchDriver) recv(link int) (rspEvent, bool, error) {
+	d.b.Begin(d.sess)
+	d.b.Recv(link)
+	r, err := d.one()
+	if err != nil || !r.Have {
+		return rspEvent{}, false, err
+	}
+	return rspEvent{
+		Cycle:   r.Cycle,
+		Cmd:     r.Cmd,
+		Tag:     r.Tag,
+		Dinv:    r.Dinv,
+		Errstat: r.Errstat,
+		Payload: append([]uint64(nil), r.Payload...),
+	}, true, nil
+}
+
+func (d *batchDriver) clock() error {
+	d.b.Begin(d.sess)
+	d.b.Clock()
+	_, err := d.one()
+	return err
+}
+
+func (d *batchDriver) clockUntilRecv(budget uint64) (uint64, bool, error) {
+	d.b.Begin(d.sess)
+	d.b.ClockUntilRecv(budget)
+	r, err := d.one()
+	return r.Advanced, r.Avail, err
+}
+
+func (d *batchDriver) stats() (uint64, []device.Stats, error) {
+	d.b.Begin(d.sess)
+	d.b.Stats()
+	r, err := d.one()
+	return r.Cycle, r.Devices, err
+}
+
 // TestWireEquivalence runs both workloads on both paper presets through
-// both drivers and requires bit-identical traces and statistics.
+// both drivers and requires bit-identical traces and statistics — in
+// every wire mode: line-JSON and binary framing, plain ops and batch
+// frames.
 func TestWireEquivalence(t *testing.T) {
 	srv := New(Config{Shards: 2})
 	defer srv.Close()
-	here, there := net.Pipe()
-	srv.ServeConn(there)
-	cl := NewClient(here)
-	defer cl.Close()
 
+	modes := []struct {
+		name    string
+		proto   string
+		batched bool
+	}{
+		{"json", ProtoJSON, false},
+		{"binary", ProtoBinary, false},
+		{"json-batch", ProtoJSON, true},
+		{"binary-batch", ProtoBinary, true},
+	}
 	workloads := []struct {
 		name string
 		run  func(driver, config.Config) ([]rspEvent, error)
@@ -302,63 +388,75 @@ func TestWireEquivalence(t *testing.T) {
 		{"4link-4gb", config.FourLink4GB()},
 		{"8link-8gb", config.EightLink8GB()},
 	}
-	for _, wl := range workloads {
-		for _, p := range presets {
-			t.Run(wl.name+"/"+p.name, func(t *testing.T) {
-				ref, err := sim.New(p.cfg)
-				if err != nil {
-					t.Fatal(err)
-				}
-				defer ref.Close()
-				in := &inprocDriver{s: ref}
-				wantTrace, err := wl.run(in, p.cfg)
-				if err != nil {
-					t.Fatalf("in-process run: %v", err)
-				}
-				wantCycle, wantStats, err := in.stats()
-				if err != nil {
-					t.Fatal(err)
-				}
+	for _, mode := range modes {
+		here, there := net.Pipe()
+		srv.ServeConn(there)
+		cl := NewClient(here)
+		defer cl.Close()
+		if err := cl.Hello(mode.proto); err != nil {
+			t.Fatalf("%s: hello: %v", mode.name, err)
+		}
+		for _, wl := range workloads {
+			for _, p := range presets {
+				t.Run(mode.name+"/"+wl.name+"/"+p.name, func(t *testing.T) {
+					ref, err := sim.New(p.cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer ref.Close()
+					in := &inprocDriver{s: ref}
+					wantTrace, err := wl.run(in, p.cfg)
+					if err != nil {
+						t.Fatalf("in-process run: %v", err)
+					}
+					wantCycle, wantStats, err := in.stats()
+					if err != nil {
+						t.Fatal(err)
+					}
 
-				sess, err := cl.Init(p.name)
-				if err != nil {
-					t.Fatal(err)
-				}
-				wd := &wireDriver{cl: cl, sess: sess}
-				gotTrace, err := wl.run(wd, p.cfg)
-				if err != nil {
-					t.Fatalf("wire run: %v", err)
-				}
-				gotCycle, gotStats, err := wd.stats()
-				if err != nil {
-					t.Fatal(err)
-				}
-				if err := cl.CloseSession(sess); err != nil {
-					t.Fatal(err)
-				}
+					sess, err := cl.Init(p.name)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var wd driver = &wireDriver{cl: cl, sess: sess}
+					if mode.batched {
+						wd = newBatchDriver(cl, sess)
+					}
+					gotTrace, err := wl.run(wd, p.cfg)
+					if err != nil {
+						t.Fatalf("wire run: %v", err)
+					}
+					gotCycle, gotStats, err := wd.stats()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := cl.CloseSession(sess); err != nil {
+						t.Fatal(err)
+					}
 
-				if len(gotTrace) != len(wantTrace) {
-					t.Fatalf("trace length %d, want %d", len(gotTrace), len(wantTrace))
-				}
-				for i := range wantTrace {
-					w, g := wantTrace[i], gotTrace[i]
-					if len(w.Payload) == 0 {
-						w.Payload = nil
+					if len(gotTrace) != len(wantTrace) {
+						t.Fatalf("trace length %d, want %d", len(gotTrace), len(wantTrace))
 					}
-					if len(g.Payload) == 0 {
-						g.Payload = nil
+					for i := range wantTrace {
+						w, g := wantTrace[i], gotTrace[i]
+						if len(w.Payload) == 0 {
+							w.Payload = nil
+						}
+						if len(g.Payload) == 0 {
+							g.Payload = nil
+						}
+						if !reflect.DeepEqual(w, g) {
+							t.Fatalf("trace[%d]:\n wire  %+v\n local %+v", i, g, w)
+						}
 					}
-					if !reflect.DeepEqual(w, g) {
-						t.Fatalf("trace[%d]:\n wire  %+v\n local %+v", i, g, w)
+					if gotCycle != wantCycle {
+						t.Errorf("final cycle %d, want %d", gotCycle, wantCycle)
 					}
-				}
-				if gotCycle != wantCycle {
-					t.Errorf("final cycle %d, want %d", gotCycle, wantCycle)
-				}
-				if !reflect.DeepEqual(gotStats, wantStats) {
-					t.Errorf("stats diverge:\n wire  %+v\n local %+v", gotStats, wantStats)
-				}
-			})
+					if !reflect.DeepEqual(gotStats, wantStats) {
+						t.Errorf("stats diverge:\n wire  %+v\n local %+v", gotStats, wantStats)
+					}
+				})
+			}
 		}
 	}
 }

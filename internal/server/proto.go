@@ -56,6 +56,14 @@ const (
 	OpReset
 	OpStats
 	OpClose
+	// OpHello negotiates the connection's wire encoding (see Proto*).
+	// It is always line-JSON — the encoding switch takes effect after
+	// its response — and is handled by the connection reader itself,
+	// never routed to a shard.
+	OpHello
+	// OpBatch carries N session ops in one frame, executed back-to-back
+	// on the session's shard and answered with one coalesced response.
+	OpBatch
 	// NumOps is the number of protocol operations.
 	NumOps
 )
@@ -63,7 +71,19 @@ const (
 var opNames = [NumOps]string{
 	"init", "send", "recv", "clock", "clockn",
 	"clock_until_recv", "loadcmc", "reset", "stats", "close",
+	"hello", "batch",
 }
+
+// Wire encodings negotiable via hello. ProtoJSON (the default) is the
+// line-delimited JSON this package documents; ProtoBinary is the
+// length-prefixed little-endian framing of binproto.go.
+const (
+	ProtoJSON   = "json"
+	ProtoBinary = "binary"
+)
+
+// MaxBatchOps caps the sub-operations one batch frame may carry.
+const MaxBatchOps = 1024
 
 func (o Op) String() string {
 	if o < 0 || o >= NumOps {
@@ -142,6 +162,18 @@ type Request struct {
 	Budget uint64 `json:"budget,omitempty"`
 	// Name is the registered CMC operation on loadcmc.
 	Name string `json:"name,omitempty"`
+	// Proto names the requested wire encoding on hello (ProtoJSON,
+	// ProtoBinary; empty keeps JSON).
+	Proto string `json:"proto,omitempty"`
+	// Ops carries a batch frame's sub-operations. Sub-requests hold only
+	// op plus per-op fields: the outer request's sess applies to every
+	// one, and ids are positional (the k-th sub-response answers the
+	// k-th sub-op).
+	Ops []Request `json:"ops,omitempty"`
+
+	// opc is the resolved Op, filled by validation/decoding so dispatch
+	// and re-encoding never re-parse the name.
+	opc Op
 }
 
 // Response is one protocol response. ok=false responses carry err and
@@ -178,40 +210,108 @@ type Response struct {
 	Payload []uint64 `json:"payload,omitempty"`
 	// Devices snapshots per-device statistics (stats).
 	Devices []device.Stats `json:"devices,omitempty"`
+	// Proto echoes the negotiated wire encoding (hello).
+	Proto string `json:"proto,omitempty"`
+	// Rsps carries a batch frame's per-sub-op responses, positionally
+	// matched to the request's Ops. Each sub-response has its own ok
+	// flag and post-op cycle; a failed sub-op does not stop the ones
+	// after it.
+	Rsps []Response `json:"rsps,omitempty"`
+
+	// opc mirrors Request.opc for sub-responses, so the batch encoders
+	// know each element's field set.
+	opc Op
 }
 
 // DecodeRequest parses one request line into req (which is fully
 // overwritten; its payload buffer is reused) and validates every field
 // the server would otherwise have to range-check per op. It returns the
 // resolved operation.
+//
+// Canonical lines (the exact form AppendRequest emits) take an
+// allocation-free fast path; anything else falls back to encoding/json.
 func DecodeRequest(line []byte, req *Request) (Op, error) {
-	payload := req.Payload[:0]
-	*req = Request{Payload: payload}
-	if err := json.Unmarshal(line, req); err != nil {
-		return 0, fmt.Errorf("%s: %w", CodeBadRequest, err)
+	if !parseRequestFast(line, req) {
+		payload := req.Payload[:0]
+		// Ops is deliberately dropped, not reused: json.Unmarshal decodes
+		// into recycled slice elements field-by-field, so a stale element
+		// would leak fields absent from the new line. The fallback is the
+		// rare non-canonical path; letting it allocate is fine.
+		*req = Request{Payload: payload}
+		if err := json.Unmarshal(line, req); err != nil {
+			return 0, fmt.Errorf("%s: %w", CodeBadRequest, err)
+		}
 	}
+	return validateRequest(req)
+}
+
+// validateRequest resolves the op names and range-checks every field of
+// a decoded request, including a batch's sub-ops. Both wire decoders
+// funnel through it, so the two encodings accept bit-identical request
+// populations.
+func validateRequest(req *Request) (Op, error) {
 	op, ok := ParseOp(req.Op)
 	if !ok {
 		return 0, fmt.Errorf("%s: %q", CodeUnknownOp, req.Op)
 	}
-	if op == OpInit {
+	req.opc = op
+	if op == OpInit || op == OpHello {
 		if req.V != Version {
 			return 0, fmt.Errorf("%s: v=%d, want %d", CodeBadVersion, req.V, Version)
 		}
 	} else if req.V != 0 && req.V != Version {
 		return 0, fmt.Errorf("%s: v=%d, want %d", CodeBadVersion, req.V, Version)
 	}
-	if req.Link < 0 || req.Cub < 0 {
-		return 0, fmt.Errorf("%s: negative link or cub", CodeBadRequest)
+	if op == OpHello {
+		switch req.Proto {
+		case "", ProtoJSON, ProtoBinary:
+		default:
+			return 0, fmt.Errorf("%s: unknown proto %q", CodeBadRequest, req.Proto)
+		}
 	}
-	if req.Tag > packet.MaxTag {
-		return 0, fmt.Errorf("%s: tag %d exceeds %d", CodeBadRequest, req.Tag, packet.MaxTag)
+	if err := validateFields(req); err != nil {
+		return 0, err
 	}
-	if len(req.Payload) > packet.MaxPayloadWords {
-		return 0, fmt.Errorf("%s: payload %d words exceeds %d",
-			CodeBadRequest, len(req.Payload), packet.MaxPayloadWords)
+	if op == OpBatch {
+		if len(req.Ops) > MaxBatchOps {
+			return 0, fmt.Errorf("%s: batch of %d ops exceeds %d", CodeLimit, len(req.Ops), MaxBatchOps)
+		}
+		for i := range req.Ops {
+			sub := &req.Ops[i]
+			sop, ok := ParseOp(sub.Op)
+			if !ok {
+				return 0, fmt.Errorf("%s: %q", CodeUnknownOp, sub.Op)
+			}
+			if !batchable(sop) {
+				return 0, fmt.Errorf("%s: op %q not allowed in a batch", CodeBadRequest, sub.Op)
+			}
+			sub.opc = sop
+			if err := validateFields(sub); err != nil {
+				return 0, err
+			}
+		}
 	}
 	return op, nil
+}
+
+// batchable reports whether op may ride inside a batch frame: every
+// session op except close (which would tear the session out from under
+// the rest of the frame). init, hello and nested batches are likewise
+// excluded.
+func batchable(op Op) bool { return op >= OpSend && op <= OpStats }
+
+func validateFields(req *Request) error {
+	if req.Link < 0 || req.Cub < 0 {
+		return fmt.Errorf("%s: negative link or cub", CodeBadRequest)
+	}
+	if req.Tag > packet.MaxTag {
+		return fmt.Errorf("%s: tag %d exceeds %d", CodeBadRequest, req.Tag, packet.MaxTag)
+	}
+	if len(req.Payload) > packet.MaxPayloadWords {
+		return fmt.Errorf("%s: payload %d words exceeds %d",
+			CodeBadRequest, len(req.Payload), packet.MaxPayloadWords)
+	}
+	return nil
 }
 
 // AppendRequest encodes req for op onto dst in the canonical wire form
@@ -224,15 +324,46 @@ func AppendRequest(dst []byte, op Op, req *Request) []byte {
 	dst = append(dst, `,"op":"`...)
 	dst = append(dst, op.String()...)
 	dst = append(dst, '"')
-	if op == OpInit {
+	switch op {
+	case OpInit:
 		dst = append(dst, `,"v":`...)
 		dst = strconv.AppendInt(dst, int64(Version), 10)
 		dst = append(dst, `,"preset":`...)
 		dst = appendJSONString(dst, req.Preset)
-	} else {
+	case OpHello:
+		dst = append(dst, `,"v":`...)
+		dst = strconv.AppendInt(dst, int64(Version), 10)
+		if req.Proto != "" {
+			dst = append(dst, `,"proto":`...)
+			dst = appendJSONString(dst, req.Proto)
+		}
+	default:
 		dst = append(dst, `,"sess":`...)
 		dst = strconv.AppendUint(dst, req.Sess, 10)
 	}
+	if op == OpBatch {
+		dst = append(dst, `,"ops":[`...)
+		for i := range req.Ops {
+			sub := &req.Ops[i]
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = append(dst, `{"op":"`...)
+			dst = append(dst, sub.opc.String()...)
+			dst = append(dst, '"')
+			dst = appendRequestOpFields(dst, sub.opc, sub)
+			dst = append(dst, '}')
+		}
+		dst = append(dst, ']')
+	} else {
+		dst = appendRequestOpFields(dst, op, req)
+	}
+	return append(dst, '}', '\n')
+}
+
+// appendRequestOpFields encodes the per-op request fields shared by
+// top-level requests and batch sub-ops.
+func appendRequestOpFields(dst []byte, op Op, req *Request) []byte {
 	switch op {
 	case OpSend:
 		dst = append(dst, `,"link":`...)
@@ -264,7 +395,7 @@ func AppendRequest(dst []byte, op Op, req *Request) []byte {
 		dst = append(dst, `,"name":`...)
 		dst = appendJSONString(dst, req.Name)
 	}
-	return append(dst, '}', '\n')
+	return dst
 }
 
 // AppendResponse encodes rsp for op onto dst, including the trailing
@@ -282,6 +413,45 @@ func AppendResponse(dst []byte, op Op, rsp *Response) []byte {
 		return append(dst, '}', '\n')
 	}
 	dst = append(dst, `,"ok":true`...)
+	switch op {
+	case OpHello:
+		dst = append(dst, `,"v":`...)
+		dst = strconv.AppendInt(dst, int64(Version), 10)
+		dst = append(dst, `,"proto":`...)
+		dst = appendJSONString(dst, rsp.Proto)
+	case OpBatch:
+		dst = append(dst, `,"rsps":[`...)
+		for i := range rsp.Rsps {
+			sub := &rsp.Rsps[i]
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			if !sub.OK {
+				dst = append(dst, `{"ok":false,"err":`...)
+				dst = appendJSONString(dst, sub.Err)
+				dst = append(dst, `,"code":`...)
+				dst = appendJSONString(dst, sub.Code)
+				dst = append(dst, '}')
+				continue
+			}
+			dst = append(dst, `{"ok":true`...)
+			dst = appendResponseOpFields(dst, sub.opc, sub)
+			dst = append(dst, `,"cycle":`...)
+			dst = strconv.AppendUint(dst, sub.Cycle, 10)
+			dst = append(dst, '}')
+		}
+		dst = append(dst, ']')
+	default:
+		dst = appendResponseOpFields(dst, op, rsp)
+	}
+	dst = append(dst, `,"cycle":`...)
+	dst = strconv.AppendUint(dst, rsp.Cycle, 10)
+	return append(dst, '}', '\n')
+}
+
+// appendResponseOpFields encodes the per-op success fields shared by
+// top-level responses and batch sub-responses.
+func appendResponseOpFields(dst []byte, op Op, rsp *Response) []byte {
 	switch op {
 	case OpInit:
 		dst = append(dst, `,"v":`...)
@@ -325,9 +495,7 @@ func AppendResponse(dst []byte, op Op, rsp *Response) []byte {
 		}
 		dst = append(dst, b...)
 	}
-	dst = append(dst, `,"cycle":`...)
-	dst = strconv.AppendUint(dst, rsp.Cycle, 10)
-	return append(dst, '}', '\n')
+	return dst
 }
 
 func appendWords(dst []byte, words []uint64) []byte {

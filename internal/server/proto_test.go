@@ -64,6 +64,7 @@ func TestAppendRequestGolden(t *testing.T) {
 			norm.V = Version
 		}
 		norm.Op, dec.Op = "", ""
+		dec.opc = 0
 		if !reflect.DeepEqual(normPayload(norm), normPayload(dec)) {
 			t.Errorf("%s: round-trip %+v, want %+v", c.op, dec, norm)
 		}

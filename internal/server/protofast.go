@@ -1,0 +1,481 @@
+package server
+
+// Fast parsers for the canonical line-JSON the package's own encoders
+// emit: one object per line, no whitespace, plain integers, strings
+// without escapes. Both sides of the protocol write exactly this form,
+// so the hot path decodes without encoding/json's reflection or its
+// allocations; any deviation (whitespace, escapes, floats, unknown
+// keys) makes the parser bail and the caller fall back to
+// encoding/json, which accepts the full grammar. The fallback and the
+// fast path populate identical structs — the wire-equivalence suite
+// exercises both.
+
+const maxUintDigits = 20
+
+type fastScan struct {
+	b   []byte
+	off int
+}
+
+func (s *fastScan) more() bool { return s.off < len(s.b) }
+
+func (s *fastScan) expect(c byte) bool {
+	if s.off < len(s.b) && s.b[s.off] == c {
+		s.off++
+		return true
+	}
+	return false
+}
+
+func (s *fastScan) peek() byte {
+	if s.off < len(s.b) {
+		return s.b[s.off]
+	}
+	return 0
+}
+
+// uint scans a plain decimal integer.
+func (s *fastScan) uint() (uint64, bool) {
+	start := s.off
+	var v uint64
+	for s.off < len(s.b) {
+		c := s.b[s.off]
+		if c < '0' || c > '9' {
+			break
+		}
+		if v > (1<<64-1)/10 {
+			return 0, false
+		}
+		v = v*10 + uint64(c-'0')
+		s.off++
+	}
+	if s.off == start || s.off-start > maxUintDigits {
+		return 0, false
+	}
+	return v, true
+}
+
+// str scans a quoted string with no escapes and returns its raw bytes.
+func (s *fastScan) str() ([]byte, bool) {
+	if !s.expect('"') {
+		return nil, false
+	}
+	start := s.off
+	for s.off < len(s.b) {
+		c := s.b[s.off]
+		if c == '"' {
+			b := s.b[start:s.off]
+			s.off++
+			return b, true
+		}
+		if c == '\\' || c < 0x20 {
+			return nil, false
+		}
+		s.off++
+	}
+	return nil, false
+}
+
+func (s *fastScan) boolean() (bool, bool) {
+	if len(s.b)-s.off >= 4 && string(s.b[s.off:s.off+4]) == "true" {
+		s.off += 4
+		return true, true
+	}
+	if len(s.b)-s.off >= 5 && string(s.b[s.off:s.off+5]) == "false" {
+		s.off += 5
+		return false, true
+	}
+	return false, false
+}
+
+// wordArray scans [n,n,...] into dst.
+func (s *fastScan) wordArray(dst []uint64) ([]uint64, bool) {
+	if !s.expect('[') {
+		return dst, false
+	}
+	if s.expect(']') {
+		return dst, true
+	}
+	for {
+		v, ok := s.uint()
+		if !ok {
+			return dst, false
+		}
+		dst = append(dst, v)
+		if s.expect(']') {
+			return dst, true
+		}
+		if !s.expect(',') {
+			return dst, false
+		}
+	}
+}
+
+// matchOpName resolves a raw op-name byte slice against the static name
+// table, avoiding a string allocation on the hot path.
+func matchOpName(b []byte) (Op, bool) {
+	for i := Op(0); i < NumOps; i++ {
+		if string(b) == opNames[i] {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// matchStatic returns a static string equal to b when one is known —
+// protocol names and error codes — so hot-path decoding does not
+// allocate for them.
+func matchStatic(b []byte) (string, bool) {
+	switch string(b) {
+	case ProtoJSON:
+		return ProtoJSON, true
+	case ProtoBinary:
+		return ProtoBinary, true
+	case CodeBadRequest:
+		return CodeBadRequest, true
+	case CodeBadVersion:
+		return CodeBadVersion, true
+	case CodeUnknownOp:
+		return CodeUnknownOp, true
+	case CodeNoSession:
+		return CodeNoSession, true
+	case CodeSessionLimit:
+		return CodeSessionLimit, true
+	case CodeBadPreset:
+		return CodeBadPreset, true
+	case CodeLimit:
+		return CodeLimit, true
+	case CodeSim:
+		return CodeSim, true
+	case "":
+		return "", true
+	}
+	return "", false
+}
+
+// parseRequestFast decodes a canonical request line into req (fully
+// overwritten, buffers reused). false means "not canonical — fall back
+// to encoding/json", not "invalid".
+func parseRequestFast(line []byte, req *Request) bool {
+	payload := req.Payload[:0]
+	ops := req.Ops[:0]
+	*req = Request{Payload: payload, Ops: ops}
+	s := fastScan{b: line}
+	if !parseReqObject(&s, req, true) {
+		return false
+	}
+	return !s.more()
+}
+
+func parseReqObject(s *fastScan, req *Request, top bool) bool {
+	if !s.expect('{') {
+		return false
+	}
+	if s.expect('}') {
+		return true
+	}
+	for {
+		key, ok := s.str()
+		if !ok || !s.expect(':') {
+			return false
+		}
+		switch string(key) {
+		case "id":
+			v, ok := s.uint()
+			if !ok {
+				return false
+			}
+			req.ID = v
+		case "v":
+			v, ok := s.uint()
+			if !ok || v > 1<<31 {
+				return false
+			}
+			req.V = int(v)
+		case "op":
+			b, ok := s.str()
+			if !ok {
+				return false
+			}
+			if op, known := matchOpName(b); known {
+				req.Op = opNames[op]
+			} else {
+				req.Op = string(b) // unknown op: cold, will fail validation
+			}
+		case "sess":
+			v, ok := s.uint()
+			if !ok {
+				return false
+			}
+			req.Sess = v
+		case "preset":
+			b, ok := s.str()
+			if !ok {
+				return false
+			}
+			req.Preset = string(b)
+		case "link":
+			v, ok := s.uint()
+			if !ok || v > 1<<30 {
+				return false
+			}
+			req.Link = int(v)
+		case "cmd":
+			v, ok := s.uint()
+			if !ok || v > 255 {
+				return false
+			}
+			req.Cmd = uint8(v)
+		case "cub":
+			v, ok := s.uint()
+			if !ok || v > 1<<30 {
+				return false
+			}
+			req.Cub = int(v)
+		case "adrs":
+			v, ok := s.uint()
+			if !ok {
+				return false
+			}
+			req.Adrs = v
+		case "tag":
+			v, ok := s.uint()
+			if !ok || v > 1<<16-1 {
+				return false
+			}
+			req.Tag = uint16(v)
+		case "payload":
+			p, ok := s.wordArray(req.Payload[:0])
+			if !ok {
+				return false
+			}
+			req.Payload = p
+		case "n":
+			v, ok := s.uint()
+			if !ok {
+				return false
+			}
+			req.N = v
+		case "budget":
+			v, ok := s.uint()
+			if !ok {
+				return false
+			}
+			req.Budget = v
+		case "name":
+			b, ok := s.str()
+			if !ok {
+				return false
+			}
+			req.Name = string(b)
+		case "proto":
+			b, ok := s.str()
+			if !ok {
+				return false
+			}
+			if p, known := matchStatic(b); known {
+				req.Proto = p
+			} else {
+				req.Proto = string(b)
+			}
+		case "ops":
+			if !top || !s.expect('[') {
+				return false
+			}
+			if !s.expect(']') {
+				for {
+					var sub *Request
+					req.Ops, sub = reuseOp(req.Ops)
+					if !parseReqObject(s, sub, false) {
+						return false
+					}
+					if s.expect(']') {
+						break
+					}
+					if !s.expect(',') {
+						return false
+					}
+				}
+			}
+		default:
+			return false
+		}
+		if s.expect('}') {
+			return true
+		}
+		if !s.expect(',') {
+			return false
+		}
+	}
+}
+
+// parseResponseFast decodes a canonical response line into rsp (fully
+// overwritten, buffers reused). false means "fall back to
+// encoding/json". Stats responses (nested device objects) always fall
+// back — they are the one cold, structured payload.
+func parseResponseFast(line []byte, rsp *Response) bool {
+	payload := rsp.Payload[:0]
+	rsps := rsp.Rsps[:0]
+	*rsp = Response{Payload: payload, Rsps: rsps}
+	s := fastScan{b: line}
+	if !parseRspObject(&s, rsp, true) {
+		return false
+	}
+	return !s.more()
+}
+
+func parseRspObject(s *fastScan, rsp *Response, top bool) bool {
+	if !s.expect('{') {
+		return false
+	}
+	if s.expect('}') {
+		return true
+	}
+	for {
+		key, ok := s.str()
+		if !ok || !s.expect(':') {
+			return false
+		}
+		switch string(key) {
+		case "id":
+			v, ok := s.uint()
+			if !ok {
+				return false
+			}
+			rsp.ID = v
+		case "ok":
+			v, ok := s.boolean()
+			if !ok {
+				return false
+			}
+			rsp.OK = v
+		case "err":
+			b, ok := s.str()
+			if !ok {
+				return false
+			}
+			rsp.Err = string(b)
+		case "code":
+			b, ok := s.str()
+			if !ok {
+				return false
+			}
+			if c, known := matchStatic(b); known {
+				rsp.Code = c
+			} else {
+				rsp.Code = string(b)
+			}
+		case "v":
+			v, ok := s.uint()
+			if !ok || v > 1<<31 {
+				return false
+			}
+			rsp.V = int(v)
+		case "sess":
+			v, ok := s.uint()
+			if !ok {
+				return false
+			}
+			rsp.Sess = v
+		case "cycle":
+			v, ok := s.uint()
+			if !ok {
+				return false
+			}
+			rsp.Cycle = v
+		case "adv":
+			v, ok := s.uint()
+			if !ok {
+				return false
+			}
+			rsp.Advanced = v
+		case "avail":
+			v, ok := s.boolean()
+			if !ok {
+				return false
+			}
+			rsp.Avail = v
+		case "accepted":
+			v, ok := s.boolean()
+			if !ok {
+				return false
+			}
+			rsp.Accepted = v
+		case "have":
+			v, ok := s.boolean()
+			if !ok {
+				return false
+			}
+			rsp.Have = v
+		case "cmd":
+			v, ok := s.uint()
+			if !ok || v > 255 {
+				return false
+			}
+			rsp.Cmd = uint8(v)
+		case "tag":
+			v, ok := s.uint()
+			if !ok || v > 1<<16-1 {
+				return false
+			}
+			rsp.Tag = uint16(v)
+		case "dinv":
+			v, ok := s.boolean()
+			if !ok {
+				return false
+			}
+			rsp.Dinv = v
+		case "errstat":
+			v, ok := s.uint()
+			if !ok || v > 255 {
+				return false
+			}
+			rsp.Errstat = uint8(v)
+		case "payload":
+			p, ok := s.wordArray(rsp.Payload[:0])
+			if !ok {
+				return false
+			}
+			rsp.Payload = p
+		case "proto":
+			b, ok := s.str()
+			if !ok {
+				return false
+			}
+			if p, known := matchStatic(b); known {
+				rsp.Proto = p
+			} else {
+				rsp.Proto = string(b)
+			}
+		case "rsps":
+			if !top || !s.expect('[') {
+				return false
+			}
+			if !s.expect(']') {
+				for {
+					var sub *Response
+					rsp.Rsps, sub = reuseRsp(rsp.Rsps)
+					if !parseRspObject(s, sub, false) {
+						return false
+					}
+					if s.expect(']') {
+						break
+					}
+					if !s.expect(',') {
+						return false
+					}
+				}
+			}
+		case "devices":
+			return false // cold, nested: let encoding/json handle it
+		default:
+			return false
+		}
+		if s.expect('}') {
+			return true
+		}
+		if !s.expect(',') {
+			return false
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package server
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation allocates, so allocation-count pins are skipped.
+const raceEnabled = true

@@ -146,9 +146,12 @@ type session struct {
 // task is one unit of shard work: a decoded request bound to the
 // connection that must receive its response, or an eviction sweep tick.
 type task struct {
-	op    Op
-	req   *Request
-	c     *conn
+	op  Op
+	req *Request
+	c   *conn
+	// bin marks a request that arrived on a binary-mode connection; its
+	// response is encoded in the same framing.
+	bin   bool
 	sweep bool
 	now   int64
 }
@@ -157,6 +160,12 @@ type shard struct {
 	srv      *Server
 	ch       chan task
 	sessions map[uint64]*session
+	// brsps and brefs are the shard's batch scratch: the coalesced
+	// sub-response slice and the pooled response packets whose payloads
+	// it aliases until the frame is encoded. Both recycle across batches
+	// — the batch hot path allocates nothing on the shard.
+	brsps []Response
+	brefs []*packet.Rsp
 }
 
 // Server hosts simulator sessions behind the line-JSON protocol.
@@ -441,23 +450,35 @@ func (sh *shard) exec(t task) {
 	rsp.ID = t.req.ID
 	rsp.OK = true
 
-	var releaseRsp *packetRspRef
-	if t.op == OpInit {
+	switch {
+	case t.op == OpInit:
 		sh.execInit(t.req, &rsp)
-	} else if ss := sh.sessions[t.req.Sess]; ss == nil {
-		fail(&rsp, CodeNoSession, fmt.Sprintf("unknown session %d", t.req.Sess))
-	} else {
-		ss.lastOp = start.UnixNano()
-		releaseRsp = sh.execOp(t.op, ss, t.req, &rsp)
+	case t.op == OpBatch:
+		sh.execBatch(t.req, &rsp, start)
+	default:
+		if ss := sh.sessions[t.req.Sess]; ss == nil {
+			fail(&rsp, CodeNoSession, fmt.Sprintf("unknown session %d", t.req.Sess))
+		} else {
+			ss.lastOp = start.UnixNano()
+			if r := sh.execOp(t.op, ss, t.req, &rsp); r != nil {
+				sh.brefs = append(sh.brefs, r)
+			}
+		}
 	}
 
 	buf := getBuf()
-	buf = AppendResponse(buf, t.op, &rsp)
-	if releaseRsp != nil {
-		// The response payload aliased the pooled packet during encode;
-		// it is copied out now, so the packet can recycle.
-		sim.ReleaseRsp(releaseRsp.rsp)
+	if t.bin {
+		buf = AppendResponseBinary(buf, t.op, &rsp)
+	} else {
+		buf = AppendResponse(buf, t.op, &rsp)
 	}
+	// Response payloads alias pooled packets until the encode above
+	// copies them out; now the packets can recycle.
+	for i, r := range sh.brefs {
+		sim.ReleaseRsp(r)
+		sh.brefs[i] = nil
+	}
+	sh.brefs = sh.brefs[:0]
 	t.c.send(buf)
 	putRequest(t.req)
 
@@ -468,9 +489,35 @@ func (sh *shard) exec(t task) {
 	}
 }
 
-// packetRspRef defers a pooled response packet's release until after
-// encoding (Response.Payload aliases the packet's payload).
-type packetRspRef struct{ rsp *packet.Rsp }
+// execBatch runs a batch frame's sub-ops back-to-back on the session.
+// The frame is atomic on the shard — no other request against this
+// session (nor any other session of this shard) interleaves — but not
+// transactional: a failed sub-op reports its own ok=false and the
+// remaining sub-ops still run, exactly as if the client had pipelined
+// them as separate requests.
+func (sh *shard) execBatch(req *Request, rsp *Response, start time.Time) {
+	ss := sh.sessions[req.Sess]
+	if ss == nil {
+		fail(rsp, CodeNoSession, fmt.Sprintf("unknown session %d", req.Sess))
+		return
+	}
+	ss.lastOp = start.UnixNano()
+	rsps := sh.brsps[:0]
+	for i := range req.Ops {
+		sub := &req.Ops[i]
+		var sr Response
+		sr.OK = true
+		sr.opc = sub.opc
+		if r := sh.execOp(sub.opc, ss, sub, &sr); r != nil {
+			sh.brefs = append(sh.brefs, r)
+		}
+		sh.srv.met.ops[sub.opc].Inc()
+		rsps = append(rsps, sr)
+	}
+	sh.brsps = rsps
+	rsp.Rsps = rsps
+	rsp.Cycle = ss.sim.Cycle()
+}
 
 func (sh *shard) execInit(req *Request, rsp *Response) {
 	cfg, ok := sh.srv.presets[normalizePreset(req.Preset)]
@@ -508,8 +555,11 @@ func (sh *shard) execInit(req *Request, rsp *Response) {
 	rsp.Cycle = 0
 }
 
-func (sh *shard) execOp(op Op, ss *session, req *Request, rsp *Response) *packetRspRef {
-	var ref *packetRspRef
+// execOp executes one session op. A non-nil return is a pooled response
+// packet whose payload rsp aliases; the caller releases it after
+// encoding.
+func (sh *shard) execOp(op Op, ss *session, req *Request, rsp *Response) *packet.Rsp {
+	var ref *packet.Rsp
 	switch op {
 	case OpSend:
 		cmd, ok := hmccmd.FromCode(req.Cmd)
@@ -546,7 +596,7 @@ func (sh *shard) execOp(op Op, ss *session, req *Request, rsp *Response) *packet
 			rsp.Dinv = r.DINV
 			rsp.Errstat = r.ERRSTAT
 			rsp.Payload = r.Payload
-			ref = &packetRspRef{rsp: r}
+			ref = r
 		}
 	case OpClock:
 		ss.sim.Clock()
@@ -616,8 +666,12 @@ func fail(rsp *Response, code, msg string) {
 }
 
 // simPool parks Reset simulators between tenants, keyed by preset.
-// Session churn on a warm pool allocates nothing in the device model:
-// init pops a clean simulator, close Resets and pushes it back.
+// Session churn on a warm pool allocates almost nothing in the device
+// model: init pops a clean simulator, close Resets and pushes it back.
+// Parked simulators are additionally Trimmed — their store pages scrub
+// back to the shared page pool and their packet free lists drop — so an
+// idle pool holds only structural memory, not the peak footprint of its
+// last tenant.
 type simPool struct {
 	mu   sync.Mutex
 	cap  int
@@ -645,6 +699,7 @@ func (p *simPool) put(preset string, s *sim.Simulator) bool {
 		return false
 	}
 	s.Reset()
+	s.Trim()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.n >= p.cap {

@@ -336,6 +336,19 @@ func (s *Simulator) Reset() {
 	s.topo.Reset()
 }
 
+// Trim releases the reusable capacity Reset keeps warm — every device's
+// materialized store pages (scrubbed back to the process-wide page pool)
+// and packet free lists — shrinking an idle simulator toward its freshly
+// built footprint. Call it after Reset on a simulator headed for an idle
+// pool; capacity re-materializes on demand when the simulator next runs.
+// Trim never touches run-visible state, so Reset+Trim stays bit-identical
+// to a fresh simulator.
+func (s *Simulator) Trim() {
+	for _, d := range s.topo.Devices() {
+		d.Trim()
+	}
+}
+
 // Reusable reports whether a simulator built with these options can be
 // recycled with Reset between runs without observable state carrying
 // over. Fault plans, parallel clocking, event-mode selection and

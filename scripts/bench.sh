@@ -57,20 +57,36 @@ go test -run '^$' \
     | sed 's|^\(Benchmark[^ 	]*\)|\1/cpu1|' | tee -a "$raw"
 
 # Session-server hot paths: one protocol round trip against a warm
-# session, a full send/clock/recv request cycle, and pooled
-# init+close session churn.
+# session, a full send/clock/recv request cycle (sequential and as one
+# batch frame in each wire encoding), and pooled init+close session
+# churn.
 go test -run '^$' \
-    -bench 'BenchmarkServerOpRoundTrip|BenchmarkServerSendRecvRoundTrip|BenchmarkServerSessionChurn' \
+    -bench 'BenchmarkServerOpRoundTrip|BenchmarkServerSendRecvRoundTrip|BenchmarkServerBatchedSendRecv|BenchmarkServerSessionChurn' \
     -benchmem -benchtime 1s ./internal/server | tee -a "$raw"
 
 # The many-thousand-session load harness: 10k concurrent sessions on an
-# in-process server, sessions/sec, ops/sec and exact p50/p99 latency.
-# Its record rides in the BENCH json under "hmcd_load".
+# in-process server, sessions/sec, ops/sec and exact steady-state
+# p50/p99 latency (open-phase latency is reported separately). Two
+# variants ride in the BENCH json: the debuggable default (line-JSON,
+# one op per frame) under "hmcd_load", and the fast path (binary
+# protocol, 3-op batched frames) under "hmcd_load_binary_batch".
 loadraw="$(mktemp)"
-trap 'rm -f "$raw" "$loadraw"' EXIT
-go run ./cmd/hmcd-load -sessions 10000 -rounds 2 -out "$loadraw"
+loadraw2="$(mktemp)"
+trap 'rm -f "$raw" "$loadraw" "$loadraw2"' EXIT
+go run ./cmd/hmcd-load -sessions 10000 -rounds 3 -warmup 1 -out "$loadraw"
+go run ./cmd/hmcd-load -sessions 10000 -rounds 3 -warmup 1 -proto binary -batch -out "$loadraw2"
 
-awk -v date="$date" -v gomaxprocs="$gomaxprocs" -v numcpu="$numcpu" -v loadfile="$loadraw" '
+awk -v date="$date" -v gomaxprocs="$gomaxprocs" -v numcpu="$numcpu" \
+    -v loadfile="$loadraw" -v loadfile2="$loadraw2" '
+  # embed splices one pretty-printed hmcd-load record into the output
+  # object under key, preceded by a comma; returns 1 if anything was
+  # written.
+  function embed(file, key,    firstline, l) {
+    if (file == "" || (getline firstline < file) <= 0) return 0
+    printf ",\n  \"%s\": %s\n", key, firstline
+    while ((getline l < file) > 0) printf "  %s\n", l
+    return 1
+  }
   /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
     ns = ""; bytes = ""; allocs = ""; pts = ""; cyc = ""
@@ -94,13 +110,10 @@ awk -v date="$date" -v gomaxprocs="$gomaxprocs" -v numcpu="$numcpu" -v loadfile=
     printf "{\n  \"date\": \"%s\",\n  \"gomaxprocs\": %d,\n  \"numcpu\": %d,\n  \"benchmarks\": [\n", date, gomaxprocs, numcpu
     for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "")
     printf "  ]"
-    if (loadfile != "" && (getline firstline < loadfile) > 0) {
-      printf ",\n  \"hmcd_load\": %s\n", firstline
-      while ((getline l < loadfile) > 0) printf "  %s\n", l
-      printf "}\n"
-    } else {
-      printf "\n}\n"
-    }
+    any = embed(loadfile, "hmcd_load")
+    any += embed(loadfile2, "hmcd_load_binary_batch")
+    if (any > 0) printf "}\n"
+    else printf "\n}\n"
   }
 ' "$raw" > "$out"
 

@@ -20,14 +20,22 @@ go test -race -run 'TestParallelClock|TestClockModeEquivalence|TestSerialPooledW
 # Session-server gate: the 500-session loopback smoke (concurrent
 # clients churning a full fleet over one connection) and the wire
 # equivalence suite (bit-identical stats and response streams between
-# wire-driven and in-process sessions).
+# wire-driven and in-process sessions, in all four wire modes — json,
+# binary, and the batched variant of each).
 go test -run 'TestSmoke500Sessions|TestWireEquivalence' -count=1 ./internal/server
+# Batched-load race smoke: a small hmcd-load fleet driving binary
+# batched frames through the full client/conn/shard pipeline under the
+# race detector — the pipelined client reader, the per-connection mode
+# switch, and batch execution on the shards all run concurrently here.
+go run -race ./cmd/hmcd-load -sessions 200 -rounds 2 -warmup 1 -conns 4 -workers 8 -proto binary -batch > /dev/null
 # Allocation-regression gate: every pin that asserts a hot path stays
 # allocation-free (the pins skip themselves under -race, so this is a
 # separate non-race invocation). TestClockLoopSpansOffZeroAlloc in the
 # root package pins the disabled-tracer clock loop; TestEmitZeroAlloc
-# in internal/span pins the recording path itself.
-go test -run 'ZeroAlloc' -count=1 . ./internal/metrics ./internal/span
+# in internal/span pins the recording path itself;
+# TestSteadyStateAllocs pins the warm server round trip (clock and
+# batched send/recv, both protocols) at single-digit allocs/op.
+go test -run 'ZeroAlloc|TestSteadyStateAllocs' -count=1 . ./internal/metrics ./internal/span ./internal/server
 go test -run '^$' -bench . -benchtime 1x ./...
 
 # Speed-regression check: re-measure the key hot-path benchmarks and
